@@ -1,0 +1,116 @@
+// §4.2: ECMP routing. Reproduces the section's two results:
+//   1. The no-signaling reduction — an inactive party's measurement choice
+//      cannot influence the active pair's joint distribution, so N-way
+//      entanglement collapses to a pairwise mixture (measured deviation ~ 0).
+//   2. The conjectured absence of quantum advantage — exhaustive angle grid
+//      search over GHZ strategies never beats the classical balanced
+//      partition, and pre-paired singlets exactly match it.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "ecmp/no_signaling.hpp"
+#include "ecmp/simulator.hpp"
+#include "ecmp/strategies.hpp"
+#include "qcore/gates.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftl;
+
+void BM_NoSignalingDeviation(benchmark::State& state) {
+  const auto rho = qcore::Density::from_state(
+      qcore::StateVec::ghz(static_cast<std::size_t>(state.range(0))));
+  double max_dev = 0.0;
+  for (auto _ : state) {
+    max_dev = 0.0;
+    for (double tc = 0.0; tc < M_PI; tc += M_PI / 16.0) {
+      max_dev = std::max(
+          max_dev, ecmp::no_signaling_deviation(
+                       rho, 0, qcore::gates::real_basis(0.4), 1,
+                       qcore::gates::real_basis(1.1),
+                       static_cast<std::size_t>(state.range(0)) - 1,
+                       qcore::gates::real_basis(tc)));
+    }
+  }
+  state.counters["max_deviation"] = max_dev;
+}
+BENCHMARK(BM_NoSignalingDeviation)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_GhzGridSearch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double best = 1.0;
+  for (auto _ : state) {
+    best = ecmp::grid_search_ghz_min_collision(n, 16);
+  }
+  state.counters["best_ghz_collision"] = best;
+  state.counters["classical_partition"] =
+      ecmp::SharedPartition::pair_collision_probability(n, 2);
+}
+BENCHMARK(BM_GhzGridSearch)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_EcmpSimulation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ecmp::EcmpConfig cfg;
+  cfg.active = 2;
+  cfg.rounds = 50000;
+  double ind = 0.0;
+  double part = 0.0;
+  for (auto _ : state) {
+    ecmp::IndependentUniform s_ind(n, 2);
+    ecmp::SharedPartition s_part(n, 2);
+    ind = run_ecmp_sim(cfg, s_ind).mean_collisions;
+    part = run_ecmp_sim(cfg, s_part).mean_collisions;
+  }
+  state.counters["independent"] = ind;
+  state.counters["shared_partition"] = part;
+}
+BENCHMARK(BM_EcmpSimulation)->Arg(3)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::cout << "\nECMP collision probabilities (M = 2 paths, 2 active "
+               "switches drawn uniformly):\n";
+  util::Table t({"N", "independent random", "shared partition (classical opt)",
+                 "paired singlets", "best GHZ (grid search)",
+                 "best W state (grid search)"});
+  for (std::size_t n : {3u, 4u}) {
+    ecmp::EcmpConfig cfg;
+    cfg.active = 2;
+    cfg.rounds = 100000;
+    ecmp::IndependentUniform s_ind(n, 2);
+    ecmp::PairedSinglets s_singlet(n);
+    ecmp::SharedPartition s_part(n, 2);
+    t.add_row({static_cast<long long>(n),
+               run_ecmp_sim(cfg, s_ind).mean_collisions,
+               run_ecmp_sim(cfg, s_part).mean_collisions,
+               run_ecmp_sim(cfg, s_singlet).mean_collisions,
+               ecmp::grid_search_ghz_min_collision(n, 16),
+               ecmp::grid_search_w_min_collision(n, 16)});
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: no quantum column beats the classical partition "
+               "(the paper's conjecture); the no-signaling deviation above "
+               "is numerically zero (the paper's proof).\n";
+
+  // The reduction, shown constructively for the report.
+  const auto rho = qcore::Density::from_state(qcore::StateVec::ghz(3));
+  const auto ensemble =
+      ecmp::reduce_by_measuring(rho, 2, qcore::gates::real_basis(0.3));
+  std::cout << "\nConstructive reduction: GHZ(3) with C measured first "
+               "becomes a mixture of "
+            << ensemble.size() << " pairwise states (probs";
+  for (const auto& [p, st] : ensemble) {
+    (void)st;
+    std::cout << " " << p;
+  }
+  std::cout << ").\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// §3: "all quantum technologies operate with an error margin, which system
+// designs must account for." This bench quantifies the margin:
+//   - CHSH win probability vs Werner visibility (advantage dies at
+//     v = 1/sqrt2 ~ 0.707, i.e. Bell fidelity ~ 0.78),
+//   - end-to-end load-balancing queue length vs visibility,
+//   - CHSH win probability vs QNIC storage time for §3's cited
+//     room-temperature memories (T2 ~ 100 us, storage 16-160 us).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "correlate/decision_source.hpp"
+#include "lb/simulator.hpp"
+#include "qnet/decoherence.hpp"
+#include "qnet/detector.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftl;
+
+double lb_queue_at_knee(double visibility) {
+  lb::LbConfig cfg;
+  cfg.num_balancers = 100;
+  cfg.num_servers = 86;  // load ~1.16
+  cfg.warmup_steps = 800;
+  cfg.measure_steps = 3000;
+  cfg.seed = 777;
+  lb::PairedStrategy strat(
+      std::make_unique<correlate::ChshSource>(visibility));
+  return run_lb_sim(cfg, strat).mean_queue_length;
+}
+
+void BM_WinVsVisibility(benchmark::State& state) {
+  const double v = static_cast<double>(state.range(0)) / 100.0;
+  double win = 0.0;
+  for (auto _ : state) {
+    correlate::ChshSource src(v);
+    win = src.win_probability(0, 0);
+  }
+  state.counters["visibility"] = v;
+  state.counters["chsh_win"] = win;
+  state.counters["advantage"] = win - 0.75;
+}
+BENCHMARK(BM_WinVsVisibility)->DenseRange(50, 100, 10)->Iterations(1);
+
+void BM_QueueVsVisibility(benchmark::State& state) {
+  const double v = static_cast<double>(state.range(0)) / 100.0;
+  double q = 0.0;
+  for (auto _ : state) {
+    q = lb_queue_at_knee(v);
+  }
+  state.counters["visibility"] = v;
+  state.counters["avg_queue_len"] = q;
+}
+BENCHMARK(BM_QueueVsVisibility)
+    ->DenseRange(60, 100, 10)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_WinVsStorageTime(benchmark::State& state) {
+  const double t_us = static_cast<double>(state.range(0));
+  double win = 0.0;
+  for (auto _ : state) {
+    win = qnet::chsh_win_after_storage(0.98, t_us * 1e-6, t_us * 1e-6,
+                                       500e-6, 100e-6);
+  }
+  state.counters["storage_us"] = t_us;
+  state.counters["chsh_win"] = win;
+}
+BENCHMARK(BM_WinVsStorageTime)
+    ->Arg(0)->Arg(16)->Arg(40)->Arg(80)->Arg(160)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::cout << "\nCHSH win probability and end-to-end queue length vs pair "
+               "visibility (classical references: win 0.75, queue "
+            << lb_queue_at_knee(0.0) << " at v=0):\n";
+  util::Table t({"visibility", "bell fidelity", "chsh win", "avg queue len"});
+  for (double v : {1.0, 0.9, 0.8, 0.75, 0.71, 0.6}) {
+    correlate::ChshSource src(v);
+    t.add_row({v, (1.0 + 3.0 * v) / 4.0, src.win_probability(0, 0),
+               lb_queue_at_knee(v)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nCHSH win vs storage time (v0=0.98, T1=500us, T2=100us; "
+               "paper cites 16-160us room-temperature storage):\n";
+  util::Table st({"storage (us)", "chsh win", "still beats classical"});
+  for (double t_us : {0.0, 8.0, 16.0, 40.0, 80.0, 160.0}) {
+    const double win = qnet::chsh_win_after_storage(
+        0.98, t_us * 1e-6, t_us * 1e-6, 500e-6, 100e-6);
+    st.add_row({t_us, win, std::string(win > 0.75 ? "yes" : "no")});
+  }
+  st.print(std::cout);
+  std::cout << "\nDetector inefficiency (one-sided failures break the "
+               "correlation and win only 50%):\n";
+  util::Table dt({"efficiency", "chsh win", "verdict"});
+  for (double eta : {1.0, 0.95, 0.90, 0.85, 0.83, 0.80, 0.70}) {
+    const double w = qnet::chsh_win_with_detectors(eta, 1.0);
+    dt.add_row({eta, w,
+                std::string(w > 0.75 ? "deploy" : "turn quantum OFF")});
+  }
+  dt.print(std::cout);
+  std::cout << "break-even efficiency (ideal pairs): "
+            << qnet::breakeven_efficiency(1.0)
+            << "; at visibility 0.9: " << qnet::breakeven_efficiency(0.9)
+            << "\n";
+
+  std::cout << "\nUseful storage window at v0=0.98: "
+            << qnet::useful_storage_window_s(0.98, 500e-6, 100e-6) * 1e6
+            << " us\n";
+  return 0;
+}

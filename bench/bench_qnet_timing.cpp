@@ -1,0 +1,91 @@
+// Figures 1-2 made quantitative: the timing advantage of pre-shared qubits
+// and the entanglement-provisioning question.
+//   - decision latency: classical coordination costs an inter-server RTT
+//     that grows with distance; a stored qubit costs none; even without
+//     storage, waiting for the next pair is distance-independent.
+//   - supply: fraction of requests finding a live pair vs source rate
+//     (paper cites SPDC rates of 1e4..1e7 pairs/s).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/coordinator.hpp"
+#include "qnet/broker.hpp"
+#include "qnet/timing.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftl;
+
+void BM_PairSupplyHitRate(benchmark::State& state) {
+  const double rate = std::pow(10.0, static_cast<double>(state.range(0)));
+  qnet::QnetConfig cfg;
+  cfg.pair_rate_hz = rate;
+  qnet::BrokerStats stats{};
+  for (auto _ : state) {
+    util::Rng rng(55);
+    stats = qnet::simulate_pair_supply(cfg, 1e4, 0.5, rng);
+  }
+  state.counters["pair_rate_hz"] = rate;
+  state.counters["hit_fraction"] = stats.hit_fraction();
+  state.counters["mean_chsh_win"] = stats.mean_chsh_win;
+}
+BENCHMARK(BM_PairSupplyHitRate)
+    ->DenseRange(3, 7, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_BrokerThroughput(benchmark::State& state) {
+  // Raw event throughput of the DES broker (a substrate microbenchmark).
+  qnet::QnetConfig cfg;
+  cfg.pair_rate_hz = 1e5;
+  std::size_t events = 0;
+  for (auto _ : state) {
+    util::Rng rng(66);
+    const auto stats = qnet::simulate_pair_supply(cfg, 1e4, 0.2, rng);
+    events = stats.pairs_generated + stats.requests;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_BrokerThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::cout << "\nDecision latency: classical RTT coordination vs pre-shared "
+               "entanglement (Figure 2):\n";
+  util::Table t({"inter-server distance", "classical RTT (us)",
+                 "quantum stored (us)", "quantum no-storage wait (us)"});
+  for (double d_m : {10.0, 100.0, 1000.0, 100000.0, 1.0e6}) {
+    qnet::TimingModel m;
+    m.inter_server_distance_m = d_m;
+    t.add_row({std::to_string(static_cast<long long>(d_m)) + " m",
+               qnet::classical_coordination_latency_s(m) * 1e6,
+               qnet::quantum_decision_latency_s(m) * 1e6,
+               qnet::quantum_no_storage_latency_s(m, 1e5) * 1e6});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nProvisioning: pair-rate sweep at 1e4 requests/s "
+               "(SPDC sources span 1e4..1e7 pairs/s per §3):\n";
+  util::Table pt({"pair rate (hz)", "hit fraction", "mean pair age (us)",
+                  "effective chsh win", "worthwhile"});
+  for (double rate : {1e3, 1e4, 1e5, 1e6, 1e7}) {
+    qnet::QnetConfig cfg;
+    cfg.pair_rate_hz = rate;
+    const auto report = core::Coordinator::provision(cfg, 0.98, 1e4, 0.5, 91);
+    pt.add_row({rate, report.pair_hit_fraction,
+                report.mean_pair_age_s * 1e6,
+                report.effective_win_probability,
+                std::string(report.quantum_worthwhile() ? "yes" : "no")});
+  }
+  pt.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,224 @@
+// §4.1 extension: load balancing over an affinity graph with multiple task
+// types, driven by general XOR games rather than one CHSH instance.
+//
+// Three findings, reported honestly:
+//  1. The binary {C, E} graph run through the typed machinery reproduces
+//     the Figure-4 ordering (quantum < classical paired < random) under the
+//     paper's priority service policy.
+//  2. On a 3-subtype graph (two cache-sharing subtypes that must not mix,
+//     plus isolation-seeking E), the quantum game value beats classical
+//     (0.833 vs 0.778) — yet the end-to-end delays do NOT robustly improve
+//     on the classical paired strategy: the classical witness wins 7 of 9
+//     input cells at 100%, and that all-or-nothing profile matches the
+//     capacity objective better than the quantum profile's uniform spread.
+//     Game-value advantage does not automatically convert to systems
+//     advantage.
+//  3. Pairwise coordination itself is not free: under FIFO service its
+//     arrival lumpiness can lose to plain random unless the service
+//     discipline strongly rewards co-location (the binary case's priority
+//     policy), and static dedicated pools win whenever the type mix is
+//     stationary and each pool is stable. Together, 2 and 3 are the
+//     concrete content of the paper's closing caveat that "further work is
+//     needed to assess whether the quantum advantage can be robust and
+//     large enough to justify its cost".
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "correlate/typed_source.hpp"
+#include "lb/typed_simulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftl;
+
+games::AffinityGraph binary_graph() {
+  games::AffinityGraph g(2);
+  g.set(0, 1, games::Affinity::kExclusive);
+  g.set(1, 1, games::Affinity::kExclusive);
+  return g;
+}
+
+games::AffinityGraph subtype_graph() {
+  games::AffinityGraph g(3);
+  g.set(0, 1, games::Affinity::kExclusive);
+  g.set(0, 2, games::Affinity::kExclusive);
+  g.set(1, 2, games::Affinity::kExclusive);
+  g.set(2, 2, games::Affinity::kExclusive);
+  return g;
+}
+
+lb::LbResult run(const games::AffinityGraph& graph, const games::XorGame& game,
+                 const std::string& kind, std::size_t servers,
+                 std::vector<double> probs, lb::TypedServicePolicy policy,
+                 double interference) {
+  lb::TypedLbConfig cfg;
+  cfg.num_balancers = 60;
+  cfg.num_servers = servers;
+  cfg.type_probs = std::move(probs);
+  cfg.warmup_steps = 600;
+  cfg.measure_steps = 3000;
+  cfg.policy = policy;
+  cfg.interference = interference;
+  cfg.seed = 77;
+
+  std::unique_ptr<lb::TypedLbStrategy> strat;
+  if (kind == "random") {
+    strat = std::make_unique<lb::TypedRandomStrategy>();
+  } else if (kind == "dedicated") {
+    std::vector<std::size_t> groups(graph.num_types());
+    for (std::size_t t = 0; t < groups.size(); ++t) groups[t] = t;
+    strat = std::make_unique<lb::TypedDedicatedStrategy>(groups,
+                                                         graph.num_types());
+  } else if (kind == "classical") {
+    strat = std::make_unique<lb::TypedPairedStrategy>(
+        std::make_unique<correlate::TypedClassicalSource>(game));
+  } else if (kind == "quantum") {
+    strat = std::make_unique<lb::TypedPairedStrategy>(
+        std::make_unique<correlate::TypedQuantumSource>(game));
+  } else {
+    strat = std::make_unique<lb::TypedPairedStrategy>(
+        std::make_unique<correlate::TypedOmniscientSource>(game));
+  }
+  return run_typed_lb_sim(cfg, graph, *strat);
+}
+
+void BM_TypedBinary(benchmark::State& state, const std::string& kind) {
+  const auto servers = static_cast<std::size_t>(state.range(0));
+  const auto graph = binary_graph();
+  const auto game = games::XorGame::from_affinity(graph, true);
+  lb::LbResult r{};
+  for (auto _ : state) {
+    r = run(graph, game, kind, servers, {0.5, 0.5},
+            lb::TypedServicePolicy::kPriorityPairs, 0.0);
+  }
+  state.counters["load"] = 60.0 / static_cast<double>(servers);
+  state.counters["mean_delay"] = r.mean_delay;
+}
+BENCHMARK_CAPTURE(BM_TypedBinary, random, "random")
+    ->Arg(80)->Arg(64)->Arg(56)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_TypedBinary, classical, "classical")
+    ->Arg(80)->Arg(64)->Arg(56)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_TypedBinary, quantum, "quantum")
+    ->Arg(80)->Arg(64)->Arg(56)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_TypedSubtypes(benchmark::State& state, const std::string& kind) {
+  const auto servers = static_cast<std::size_t>(state.range(0));
+  const auto graph = subtype_graph();
+  const auto game = games::XorGame::from_affinity(graph, true);
+  lb::LbResult r{};
+  for (auto _ : state) {
+    r = run(graph, game, kind, servers, {0.35, 0.35, 0.30},
+            lb::TypedServicePolicy::kPairsFirstFifo, 0.3);
+  }
+  state.counters["load"] = 60.0 / static_cast<double>(servers);
+  state.counters["mean_delay"] = r.mean_delay;
+}
+BENCHMARK_CAPTURE(BM_TypedSubtypes, random, "random")
+    ->Arg(80)->Arg(60)->Arg(46)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_TypedSubtypes, classical, "classical")
+    ->Arg(80)->Arg(60)->Arg(46)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_TypedSubtypes, quantum, "quantum")
+    ->Arg(80)->Arg(60)->Arg(46)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  {
+    const auto graph = binary_graph();
+    const auto game = games::XorGame::from_affinity(graph, true);
+    std::cout << "\n[1] Binary {C, E} graph, priority service (Figure-4 "
+                 "economics): mean delay\n";
+    util::Table t({"load", "random", "classical paired", "quantum paired",
+                   "omniscient"});
+    for (std::size_t servers : {80u, 64u, 56u}) {
+      t.add_row({60.0 / servers,
+                 run(graph, game, "random", servers, {0.5, 0.5},
+                     lb::TypedServicePolicy::kPriorityPairs, 0.0).mean_delay,
+                 run(graph, game, "classical", servers, {0.5, 0.5},
+                     lb::TypedServicePolicy::kPriorityPairs, 0.0).mean_delay,
+                 run(graph, game, "quantum", servers, {0.5, 0.5},
+                     lb::TypedServicePolicy::kPriorityPairs, 0.0).mean_delay,
+                 run(graph, game, "omniscient", servers, {0.5, 0.5},
+                     lb::TypedServicePolicy::kPriorityPairs, 0.0).mean_delay});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    const auto graph = subtype_graph();
+    const auto game = games::XorGame::from_affinity(graph, true);
+    std::cout << "\n[2] 3-subtype graph (A/B cache subtypes + E), FIFO "
+                 "pairing, interference 0.3: mean delay\n";
+    std::cout << "    game values: classical "
+              << game.classical_value() << ", quantum "
+              << (1.0 + game.quantum_bias().bias) / 2.0 << "\n";
+    util::Table t({"load", "random", "dedicated pools", "classical paired",
+                   "quantum paired", "omniscient"});
+    for (std::size_t servers : {80u, 60u, 46u}) {
+      std::vector<double> probs{0.35, 0.35, 0.30};
+      const auto pol = lb::TypedServicePolicy::kPairsFirstFifo;
+      t.add_row({60.0 / servers,
+                 run(graph, game, "random", servers, probs, pol, 0.3).mean_delay,
+                 run(graph, game, "dedicated", servers, probs, pol, 0.3).mean_delay,
+                 run(graph, game, "classical", servers, probs, pol, 0.3).mean_delay,
+                 run(graph, game, "quantum", servers, probs, pol, 0.3).mean_delay,
+                 run(graph, game, "omniscient", servers, probs, pol, 0.3).mean_delay});
+    }
+    t.print(std::cout);
+    std::cout <<
+        "\nReading: despite the larger game value, quantum pairing tracks\n"
+        "classical pairing within noise here (the win *profile*, not the\n"
+        "win *average*, is what the capacity objective rewards); random\n"
+        "can win under FIFO service (pairing lumpiness); dedicated pools\n"
+        "need a stationary, known mix and saturate at the self-exclusive\n"
+        "pool first. See EXPERIMENTS.md for the full discussion.\n";
+  }
+
+  {
+    // [3] Where dedicated pools break: a drifting type mix. Three
+    // self-colocating, mutually exclusive subtypes; every 200 steps the
+    // arrival mix is resampled. Pools are static; paired and random
+    // strategies are mix-oblivious.
+    games::AffinityGraph graph(3);
+    graph.set(0, 1, games::Affinity::kExclusive);
+    graph.set(0, 2, games::Affinity::kExclusive);
+    graph.set(1, 2, games::Affinity::kExclusive);
+    const auto game = games::XorGame::from_affinity(graph, true);
+    std::cout << "\n[3] Drifting type mix (3 mutually exclusive subtypes, "
+                 "resampled every 200 steps): mean delay\n";
+    util::Table t({"mix", "random", "dedicated pools", "quantum paired"});
+    for (long drift : {0L, 200L}) {
+      lb::TypedLbConfig cfg;
+      cfg.num_balancers = 60;
+      cfg.num_servers = 52;
+      cfg.type_probs.assign(3, 1.0 / 3.0);
+      cfg.warmup_steps = 500;
+      cfg.measure_steps = 4000;
+      cfg.interference = 0.5;
+      cfg.policy = lb::TypedServicePolicy::kPairsFirstFifo;
+      cfg.mix_drift_period = drift;
+      cfg.seed = 11;
+      lb::TypedRandomStrategy rnd;
+      lb::TypedDedicatedStrategy ded({0, 1, 2}, 3);
+      lb::TypedPairedStrategy qun(
+          std::make_unique<correlate::TypedQuantumSource>(game));
+      t.add_row({std::string(drift == 0 ? "stationary" : "drifting"),
+                 run_typed_lb_sim(cfg, graph, rnd).mean_delay,
+                 run_typed_lb_sim(cfg, graph, ded).mean_delay,
+                 run_typed_lb_sim(cfg, graph, qun).mean_delay});
+    }
+    t.print(std::cout);
+    std::cout << "\nReading: dedicated pools are unbeatable when the mix is\n"
+                 "known and fixed, and collapse when it drifts — the regime\n"
+                 "where mix-oblivious coordination (classical or quantum)\n"
+                 "earns its keep.\n";
+  }
+  return 0;
+}

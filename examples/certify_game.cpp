@@ -1,0 +1,80 @@
+// certify_game: certify the quantum value of an arbitrary 2-input binary
+// game from both sides.
+//
+//   lower bound: see-saw optimisation (an explicit state + measurements)
+//   upper bound: NPA level 1+AB semidefinite relaxation
+//
+// When the two meet, the value is certified without trusting either solver
+// alone — the workflow §4.1's "General games" paragraph imagines for
+// deciding whether a systems problem admits a quantum advantage.
+//
+//   build/examples/certify_game [--seed N] [--density P] [--trials K]
+//   build/examples/certify_game --chsh
+#include <cstdio>
+
+#include "games/chsh.hpp"
+#include "games/npa.hpp"
+#include "games/seesaw.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ftl;
+
+void certify(const games::TwoPartyGame& game, const char* label) {
+  const double classical = games::classical_value(game).value;
+  games::SeesawOptions sopts;
+  sopts.restarts = 16;
+  sopts.max_rounds = 200;
+  const games::SeesawResult lower = games::seesaw_optimize(game, sopts);
+  const games::NpaResult upper = games::npa1_upper_bound(game);
+  const double gap = upper.upper_bound - lower.value;
+  std::printf(
+      "%-14s classical %.6f | quantum in [%.6f, %.6f] (gap %.1e) %s%s\n",
+      label, classical, lower.value, upper.upper_bound, gap,
+      gap < 1e-4 ? "CERTIFIED" : "open",
+      lower.value > classical + 1e-5 ? ", quantum ADVANTAGE" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+
+  if (args.get("chsh", false)) {
+    certify(games::chsh_game(), "CHSH");
+    certify(games::chsh_game(true), "flipped CHSH");
+    return 0;
+  }
+
+  const auto trials = args.get("trials", static_cast<std::size_t>(8));
+  const double density = args.get("density", 0.5);
+  util::Rng rng(static_cast<std::uint64_t>(
+      args.get("seed", static_cast<long long>(1))));
+
+  std::printf("certifying %zu random win tables (density %.2f):\n\n", trials,
+              density);
+  certify(games::chsh_game(), "CHSH (anchor)");
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector wins(2, std::vector(2, std::vector(2, std::vector<bool>(2))));
+    for (int x = 0; x < 2; ++x) {
+      for (int y = 0; y < 2; ++y) {
+        for (int a = 0; a < 2; ++a) {
+          for (int b = 0; b < 2; ++b) {
+            wins[x][y][a][b] = rng.bernoulli(density);
+          }
+        }
+      }
+    }
+    const games::TwoPartyGame game(wins,
+                                   games::TwoPartyGame::uniform_inputs(2, 2));
+    char label[32];
+    std::snprintf(label, sizeof label, "random #%zu", t);
+    certify(game, label);
+  }
+  std::puts(
+      "\nCERTIFIED = lower and upper bounds agree to 1e-4; ADVANTAGE =\n"
+      "the certified quantum value strictly exceeds the classical one.");
+  return 0;
+}

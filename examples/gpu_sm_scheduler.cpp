@@ -1,0 +1,95 @@
+// gpu_sm_scheduler: the introduction's GPU motivation, concretely.
+//
+// Kernels referencing the same texture should land on the same Streaming
+// Multiprocessor (SM) to share its cache; unrelated kernels should spread
+// out. Two front-end dispatchers assign kernels to SMs without talking to
+// each other. We model T texture working sets; a dispatcher's input bit is
+// "my kernel uses the currently-hot texture". Cache hits require
+// co-location with the other kernel of the same texture.
+//
+//   build/examples/gpu_sm_scheduler [num_sms] [rounds]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "correlate/decision_source.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftl;
+
+struct Outcome {
+  double cache_hit_rate;    // hot-texture kernel pairs that shared an SM
+  double contention_rate;   // unrelated kernel pairs that collided on an SM
+  double effective_speedup; // toy throughput model combining the two
+};
+
+Outcome run(correlate::PairedDecisionSource& source, std::size_t num_sms,
+            int rounds, util::Rng& rng) {
+  int hot_pairs = 0;
+  int hot_colocated = 0;
+  int cold_pairs = 0;
+  int cold_collided = 0;
+  for (int i = 0; i < rounds; ++i) {
+    // Each dispatcher independently receives a kernel; 50% reference the
+    // hot texture.
+    const int x = rng.bernoulli(0.5) ? 1 : 0;
+    const int y = rng.bernoulli(0.5) ? 1 : 0;
+    // Shared randomness narrows this round to two candidate SMs.
+    const auto [sm0, sm1] = rng.distinct_pair(num_sms);
+    (void)sm0;
+    (void)sm1;
+    const auto [a, b] = source.decide(x, y, rng);
+    const bool same_sm = a == b;
+    if (x == 1 && y == 1) {
+      ++hot_pairs;
+      if (same_sm) ++hot_colocated;
+    } else {
+      ++cold_pairs;
+      if (same_sm) ++cold_collided;
+    }
+  }
+  Outcome o{};
+  o.cache_hit_rate = static_cast<double>(hot_colocated) / hot_pairs;
+  o.contention_rate = static_cast<double>(cold_collided) / cold_pairs;
+  // Toy model: a cache hit doubles the pair's throughput; a collision of
+  // unrelated kernels halves it.
+  o.effective_speedup = 1.0 + 0.25 * (2.0 * o.cache_hit_rate - 1.0) -
+                        0.75 * (o.contention_rate - 0.0) * 0.5;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t num_sms =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 16;
+  const int rounds = argc > 2 ? std::atoi(argv[2]) : 200000;
+
+  util::Rng rng(99);
+  util::Table t({"dispatcher coordination", "texture cache-hit rate",
+                 "contention rate", "relative throughput"});
+  const auto row = [&](const char* kind) {
+    auto src = correlate::make_source(kind);
+    const Outcome o = run(*src, num_sms, rounds, rng);
+    t.add_row({src->name(), o.cache_hit_rate, o.contention_rate,
+               o.effective_speedup});
+  };
+  row("independent");
+  row("classical-chsh");
+  row("quantum-chsh");
+  row("omniscient");
+
+  std::printf("GPU kernel dispatch across %zu SMs, %d kernel pairs:\n\n",
+              num_sms, rounds);
+  t.print(std::cout);
+  std::puts(
+      "\nReading: entangled dispatchers raise the texture cache-hit rate\n"
+      "AND lower contention simultaneously; classical pre-agreement must\n"
+      "trade one against the other (classical-chsh never co-locates the\n"
+      "hot pairs at all).");
+  return 0;
+}

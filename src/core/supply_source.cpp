@@ -1,0 +1,31 @@
+#include "core/supply_source.hpp"
+
+#include "util/assert.hpp"
+
+namespace ftl::core {
+
+SupplyAwareSource::SupplyAwareSource(const PairConfig& cfg) : pair_(cfg) {
+  FTL_ASSERT_MSG(cfg.supply.has_value(),
+                 "SupplyAwareSource needs a qnet supply model");
+  FTL_ASSERT_MSG(cfg.backend == Backend::kQuantum,
+                 "supply rationing only makes sense for the quantum backend");
+}
+
+std::pair<int, int> SupplyAwareSource::decide(int x, int y,
+                                              util::Rng& /*rng*/) {
+  // The CorrelatedPair carries its own deterministic stream (it must: the
+  // supply process is part of its state), so the caller's rng is unused.
+  const int a = pair_.decide(0, x);
+  const int b = pair_.decide(1, y);
+  return {a, b};
+}
+
+std::string SupplyAwareSource::name() const {
+  return "quantum-chsh(supply-limited)";
+}
+
+double SupplyAwareSource::win_probability(int /*x*/, int /*y*/) const {
+  return pair_.expected_win_probability();
+}
+
+}  // namespace ftl::core

@@ -1,0 +1,35 @@
+// SupplyAwareSource: a PairedDecisionSource whose quantum rounds are
+// rationed by the qnet supply model.
+//
+// This closes the loop between the architecture (§3) and the simulation
+// (§4.1): the Figure-4 cluster simulation can be re-run with a *finite*
+// entanglement source, lossy fiber and decohering memory, so the measured
+// advantage reflects what a concrete hardware budget actually buys. Rounds
+// without a live pair silently fall back to the best classical strategy.
+#pragma once
+
+#include "core/correlated_pair.hpp"
+#include "correlate/decision_source.hpp"
+
+namespace ftl::core {
+
+class SupplyAwareSource final : public correlate::PairedDecisionSource {
+ public:
+  /// `cfg.supply` must be set (otherwise use correlate::ChshSource).
+  explicit SupplyAwareSource(const PairConfig& cfg);
+
+  [[nodiscard]] std::pair<int, int> decide(int x, int y,
+                                           util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Expected win probability on a *fresh* pair; the realised average is
+  /// lower and visible through stats().
+  [[nodiscard]] double win_probability(int x, int y) const override;
+
+  [[nodiscard]] const PairStats& stats() const { return pair_.stats(); }
+
+ private:
+  CorrelatedPair pair_;
+};
+
+}  // namespace ftl::core

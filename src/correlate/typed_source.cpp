@@ -1,0 +1,124 @@
+#include "correlate/typed_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ftl::correlate {
+
+TypedIndependentSource::TypedIndependentSource(games::XorGame game)
+    : game_(std::move(game)) {
+  FTL_ASSERT(game_.num_x() == game_.num_y());
+}
+
+std::pair<int, int> TypedIndependentSource::decide(std::size_t /*x*/,
+                                                   std::size_t /*y*/,
+                                                   util::Rng& rng) {
+  return {rng.bernoulli(0.5) ? 1 : 0, rng.bernoulli(0.5) ? 1 : 0};
+}
+
+double TypedIndependentSource::win_probability(std::size_t /*x*/,
+                                               std::size_t /*y*/) const {
+  return 0.5;
+}
+
+TypedClassicalSource::TypedClassicalSource(games::XorGame game)
+    : game_(std::move(game)), strategy_(game_.classical_strategy()) {}
+
+std::size_t TypedClassicalSource::num_types() const { return game_.num_x(); }
+
+std::pair<int, int> TypedClassicalSource::decide(std::size_t x, std::size_t y,
+                                                 util::Rng& rng) {
+  FTL_ASSERT(x < game_.num_x() && y < game_.num_y());
+  const int r = rng.bernoulli(0.5) ? 1 : 0;
+  return {strategy_.alice[x] ^ r, strategy_.bob[y] ^ r};
+}
+
+double TypedClassicalSource::win_probability(std::size_t x,
+                                             std::size_t y) const {
+  return ((strategy_.alice[x] ^ strategy_.bob[y]) == game_.f(x, y)) ? 1.0
+                                                                    : 0.0;
+}
+
+TypedQuantumSource::TypedQuantumSource(games::XorGame game,
+                                       const sdp::GramOptions& opts)
+    : game_(std::move(game)) {
+  const sdp::XorBiasResult r = game_.quantum_bias(opts);
+  const std::size_t nx = game_.num_x();
+  const std::size_t ny = game_.num_y();
+  correlators_.assign(nx, std::vector<double>(ny, 0.0));
+  for (std::size_t x = 0; x < nx; ++x) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < r.alice[x].size(); ++k) {
+        dot += r.alice[x][k] * r.bob[y][k];
+      }
+      correlators_[x][y] = std::clamp(dot, -1.0, 1.0);
+    }
+  }
+}
+
+std::size_t TypedQuantumSource::num_types() const { return game_.num_x(); }
+
+double TypedQuantumSource::correlator(std::size_t x, std::size_t y) const {
+  FTL_ASSERT(x < correlators_.size() && y < correlators_[x].size());
+  return correlators_[x][y];
+}
+
+std::pair<int, int> TypedQuantumSource::decide(std::size_t x, std::size_t y,
+                                               util::Rng& rng) {
+  // Uniform marginals with P(a = b) = (1 + E) / 2: draw a fair coin for a,
+  // flip b relative to it with the anti-correlation probability.
+  const int a = rng.bernoulli(0.5) ? 1 : 0;
+  const double p_diff = 0.5 * (1.0 - correlator(x, y));
+  const int b = a ^ (rng.bernoulli(p_diff) ? 1 : 0);
+  return {a, b};
+}
+
+double TypedQuantumSource::win_probability(std::size_t x,
+                                           std::size_t y) const {
+  const double e = correlator(x, y);
+  return game_.f(x, y) == 0 ? 0.5 * (1.0 + e) : 0.5 * (1.0 - e);
+}
+
+TypedRealizedSource::TypedRealizedSource(games::XorGame game,
+                                         const sdp::GramOptions& opts)
+    : game_(game),
+      strategy_(games::realize_optimal_strategy(game, opts)) {}
+
+std::size_t TypedRealizedSource::num_types() const { return game_.num_x(); }
+
+std::size_t TypedRealizedSource::qubits_per_party() const {
+  return strategy_.qubits_per_party();
+}
+
+std::pair<int, int> TypedRealizedSource::decide(std::size_t x, std::size_t y,
+                                                util::Rng& rng) {
+  return strategy_.play(x, y, rng);
+}
+
+double TypedRealizedSource::win_probability(std::size_t x,
+                                            std::size_t y) const {
+  const double e = strategy_.correlator(x, y);
+  return game_.f(x, y) == 0 ? 0.5 * (1.0 + e) : 0.5 * (1.0 - e);
+}
+
+TypedOmniscientSource::TypedOmniscientSource(games::XorGame game)
+    : game_(std::move(game)) {}
+
+std::size_t TypedOmniscientSource::num_types() const { return game_.num_x(); }
+
+std::pair<int, int> TypedOmniscientSource::decide(std::size_t x,
+                                                  std::size_t y,
+                                                  util::Rng& rng) {
+  const int r = rng.bernoulli(0.5) ? 1 : 0;
+  return {r, r ^ game_.f(x, y)};
+}
+
+double TypedOmniscientSource::win_probability(std::size_t /*x*/,
+                                              std::size_t /*y*/) const {
+  return 1.0;
+}
+
+}  // namespace ftl::correlate

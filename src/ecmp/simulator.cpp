@@ -1,0 +1,65 @@
+#include "ecmp/simulator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ftl::ecmp {
+
+EcmpResult run_ecmp_sim(const EcmpConfig& cfg, EcmpStrategy& strategy) {
+  const std::size_t n = strategy.num_switches();
+  const std::size_t m = strategy.num_paths();
+  FTL_ASSERT(cfg.active >= 2 && cfg.active <= n);
+  FTL_ASSERT(cfg.rounds > 0);
+
+  util::Rng rng(cfg.seed);
+  util::Rng subset_rng = rng.split(1);
+
+  std::vector<std::size_t> paths;
+  std::vector<std::size_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  std::vector<std::size_t> path_count(m, 0);
+
+  double collisions_total = 0.0;
+  std::size_t collision_free = 0;
+  double spread_total = 0.0;
+  const double spread_denom =
+      static_cast<double>(std::min(cfg.active, m));
+
+  for (std::size_t round = 0; round < cfg.rounds; ++round) {
+    strategy.choose(paths, rng);
+    FTL_ASSERT(paths.size() == n);
+
+    // Uniformly random active subset of size K (partial Fisher-Yates).
+    for (std::size_t i = 0; i < cfg.active; ++i) {
+      const std::size_t j =
+          i + subset_rng.uniform_int(n - i);
+      std::swap(ids[i], ids[j]);
+    }
+
+    std::fill(path_count.begin(), path_count.end(), 0);
+    for (std::size_t i = 0; i < cfg.active; ++i) {
+      FTL_ASSERT(paths[ids[i]] < m);
+      ++path_count[paths[ids[i]]];
+    }
+    std::size_t colliding_pairs = 0;
+    std::size_t distinct = 0;
+    for (std::size_t c : path_count) {
+      if (c > 0) ++distinct;
+      colliding_pairs += c * (c - 1) / 2;
+    }
+    collisions_total += static_cast<double>(colliding_pairs);
+    if (colliding_pairs == 0) ++collision_free;
+    spread_total += static_cast<double>(distinct) / spread_denom;
+  }
+
+  EcmpResult out;
+  const auto rounds = static_cast<double>(cfg.rounds);
+  out.mean_collisions = collisions_total / rounds;
+  out.p_collision_free = static_cast<double>(collision_free) / rounds;
+  out.path_spread = spread_total / rounds;
+  return out;
+}
+
+}  // namespace ftl::ecmp

@@ -1,0 +1,35 @@
+// Monte-Carlo ECMP collision study (§4.2).
+//
+// Each round: all N switches commit to paths (via a strategy), then a
+// uniformly random subset of K switches turns out to be active. Collisions
+// are counted among active switches only — the inactive majority is why
+// the paper's no-signaling argument bites.
+#pragma once
+
+#include <cstdint>
+
+#include "ecmp/strategies.hpp"
+
+namespace ftl::ecmp {
+
+struct EcmpConfig {
+  /// Active switches per round (K <= M for the contention-free ideal).
+  std::size_t active = 2;
+  std::size_t rounds = 100000;
+  std::uint64_t seed = 7;
+};
+
+struct EcmpResult {
+  /// Mean number of colliding pairs among active switches per round.
+  double mean_collisions = 0.0;
+  /// Fraction of rounds with zero collisions.
+  double p_collision_free = 0.0;
+  /// Mean number of distinct paths used by active switches, divided by
+  /// min(K, M) — 1.0 means perfectly spread.
+  double path_spread = 0.0;
+};
+
+[[nodiscard]] EcmpResult run_ecmp_sim(const EcmpConfig& cfg,
+                                      EcmpStrategy& strategy);
+
+}  // namespace ftl::ecmp

@@ -1,0 +1,157 @@
+// ECMP path-selection strategies (§4.2).
+//
+// N switches share M < N equal-cost paths. Each round an unknown subset of
+// switches is active; every switch must pick a path with no knowledge of
+// who else is active and no communication. Strategies may pre-share
+// randomness (classical) or entanglement (quantum). Collisions are active
+// switches choosing the same path.
+//
+// The paper proves that entangling *inactive* switches cannot help (the
+// no-signaling reduction, see no_signaling.hpp) and conjectures no quantum
+// advantage at all; the strategies here let the benches probe that
+// conjecture empirically for small N.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qcore/state.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::ecmp {
+
+class EcmpStrategy {
+ public:
+  virtual ~EcmpStrategy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::size_t num_switches() const = 0;
+  [[nodiscard]] virtual std::size_t num_paths() const = 0;
+
+  /// One round: every switch (active or not — nobody knows) commits to a
+  /// path. `out[i]` is switch i's path.
+  virtual void choose(std::vector<std::size_t>& out, util::Rng& rng) = 0;
+};
+
+/// Every switch picks an independent uniform path (classical baseline;
+/// per-pair collision probability 1/M).
+class IndependentUniform final : public EcmpStrategy {
+ public:
+  IndependentUniform(std::size_t n, std::size_t m);
+  [[nodiscard]] std::string name() const override { return "independent"; }
+  [[nodiscard]] std::size_t num_switches() const override { return n_; }
+  [[nodiscard]] std::size_t num_paths() const override { return m_; }
+  void choose(std::vector<std::size_t>& out, util::Rng& rng) override;
+
+ private:
+  std::size_t n_;
+  std::size_t m_;
+};
+
+/// Optimal classical shared-randomness scheme: a fresh random balanced
+/// partition of switches into the M paths each round. For a uniformly
+/// random active pair the collision probability is
+/// sum_g g_i(g_i - 1) / (N(N-1)) — e.g. 1/3 for N=4, M=2.
+class SharedPartition final : public EcmpStrategy {
+ public:
+  SharedPartition(std::size_t n, std::size_t m);
+  [[nodiscard]] std::string name() const override { return "shared-partition"; }
+  [[nodiscard]] std::size_t num_switches() const override { return n_; }
+  [[nodiscard]] std::size_t num_paths() const override { return m_; }
+  void choose(std::vector<std::size_t>& out, util::Rng& rng) override;
+
+  /// Closed-form per-random-pair collision probability of the balanced
+  /// partition.
+  [[nodiscard]] static double pair_collision_probability(std::size_t n,
+                                                         std::size_t m);
+
+ private:
+  std::size_t n_;
+  std::size_t m_;
+  std::vector<std::size_t> assignment_;
+};
+
+/// N-way GHZ entanglement, each switch measuring its qubit in a fixed real
+/// basis angle (M = 2 paths; binary outcomes). Because the two-qubit
+/// reduced state of a GHZ(n >= 3) is the classical mixture
+/// (|00><00| + |11><11|)/2, this cannot beat the classical partition — the
+/// bench verifies exactly that via grid search over angles.
+class GhzAngles final : public EcmpStrategy {
+ public:
+  GhzAngles(std::vector<double> angles);
+  [[nodiscard]] std::string name() const override { return "ghz-angles"; }
+  [[nodiscard]] std::size_t num_switches() const override {
+    return angles_.size();
+  }
+  [[nodiscard]] std::size_t num_paths() const override { return 2; }
+  void choose(std::vector<std::size_t>& out, util::Rng& rng) override;
+
+  /// Exact P(switch i and switch j output the same bit).
+  [[nodiscard]] double pair_collision_probability(std::size_t i,
+                                                  std::size_t j) const;
+
+  /// Average of pair_collision_probability over all unordered pairs — the
+  /// collision rate seen by a uniformly random active pair.
+  [[nodiscard]] double mean_pair_collision() const;
+
+ private:
+  std::vector<double> angles_;
+};
+
+/// N-way W-state entanglement, each switch measuring a fixed real angle
+/// (M = 2). Unlike GHZ, the W state's two-qubit reduced states are
+/// *entangled* (concurrence 2/n), so this probes the paper's §4.2
+/// conjecture with a genuinely non-classical pairwise resource — the
+/// bench shows it still cannot beat the classical partition.
+class WAngles final : public EcmpStrategy {
+ public:
+  explicit WAngles(std::vector<double> angles);
+  [[nodiscard]] std::string name() const override { return "w-angles"; }
+  [[nodiscard]] std::size_t num_switches() const override {
+    return angles_.size();
+  }
+  [[nodiscard]] std::size_t num_paths() const override { return 2; }
+  void choose(std::vector<std::size_t>& out, util::Rng& rng) override;
+
+  /// Exact P(switch i and switch j output the same bit).
+  [[nodiscard]] double pair_collision_probability(std::size_t i,
+                                                  std::size_t j) const;
+  [[nodiscard]] double mean_pair_collision() const;
+
+  /// The W state (|10...0> + |01...0> + ... + |0...01>)/sqrt(n).
+  [[nodiscard]] static qcore::StateVec w_state(std::size_t n);
+
+ private:
+  std::vector<double> angles_;
+};
+
+/// Grid search over W-state measurement angles (analogue of the GHZ one).
+[[nodiscard]] double grid_search_w_min_collision(std::size_t n,
+                                                 std::size_t grid_points);
+
+/// Switches are pre-paired; each pair shares a singlet measured in the same
+/// basis, producing perfectly anti-correlated path bits (M = 2). Across
+/// pairs, outcomes are independent. This is the strongest pairwise-
+/// entanglement scheme for M = 2 and it exactly matches (not beats) the
+/// classical partition — monogamy of entanglement prevents more.
+class PairedSinglets final : public EcmpStrategy {
+ public:
+  explicit PairedSinglets(std::size_t n);
+  [[nodiscard]] std::string name() const override { return "paired-singlets"; }
+  [[nodiscard]] std::size_t num_switches() const override { return n_; }
+  [[nodiscard]] std::size_t num_paths() const override { return 2; }
+  void choose(std::vector<std::size_t>& out, util::Rng& rng) override;
+
+ private:
+  std::size_t n_;
+};
+
+/// Exhaustive grid search over GHZ measurement angles minimising the mean
+/// pair collision probability; returns the best value found (the bench
+/// compares it against the classical optimum).
+[[nodiscard]] double grid_search_ghz_min_collision(std::size_t n,
+                                                   std::size_t grid_points);
+
+}  // namespace ftl::ecmp

@@ -1,0 +1,45 @@
+#include "games/affinity.hpp"
+
+#include "util/assert.hpp"
+
+namespace ftl::games {
+
+AffinityGraph::AffinityGraph(std::size_t num_types)
+    : n_(num_types), label_(num_types * num_types, Affinity::kColocate) {
+  FTL_ASSERT(num_types >= 1);
+}
+
+AffinityGraph AffinityGraph::random(std::size_t num_types, double p_exclusive,
+                                    util::Rng& rng) {
+  FTL_ASSERT(p_exclusive >= 0.0 && p_exclusive <= 1.0);
+  AffinityGraph g(num_types);
+  for (std::size_t u = 0; u < num_types; ++u) {
+    for (std::size_t v = u + 1; v < num_types; ++v) {
+      if (rng.bernoulli(p_exclusive)) g.set(u, v, Affinity::kExclusive);
+    }
+  }
+  return g;
+}
+
+Affinity AffinityGraph::at(std::size_t u, std::size_t v) const {
+  FTL_ASSERT(u < n_ && v < n_);
+  return label_[u * n_ + v];
+}
+
+void AffinityGraph::set(std::size_t u, std::size_t v, Affinity a) {
+  FTL_ASSERT(u < n_ && v < n_);
+  label_[u * n_ + v] = a;
+  label_[v * n_ + u] = a;
+}
+
+std::size_t AffinityGraph::num_exclusive_edges() const {
+  std::size_t count = 0;
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (std::size_t v = u + 1; v < n_; ++v) {
+      if (at(u, v) == Affinity::kExclusive) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace ftl::games

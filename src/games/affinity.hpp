@@ -1,0 +1,41 @@
+// Affinity graphs: the paper's §4.1 encoding of task-type co-location
+// preferences. Vertices are task types; each edge is labelled Colocate
+// (tasks should land on the same server) or Exclusive (different servers).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ftl::games {
+
+enum class Affinity : std::uint8_t { kColocate = 0, kExclusive = 1 };
+
+class AffinityGraph {
+ public:
+  /// All edges (including self-loops) initialised to Colocate.
+  explicit AffinityGraph(std::size_t num_types);
+
+  /// Random graph: every unordered pair of *distinct* vertices is Exclusive
+  /// independently with probability p_exclusive (Fig. 3's generator).
+  /// Self-loops stay Colocate: two tasks of the same type share caches.
+  [[nodiscard]] static AffinityGraph random(std::size_t num_types,
+                                            double p_exclusive,
+                                            util::Rng& rng);
+
+  [[nodiscard]] std::size_t num_types() const { return n_; }
+
+  [[nodiscard]] Affinity at(std::size_t u, std::size_t v) const;
+  /// Sets the label of {u, v} (kept symmetric).
+  void set(std::size_t u, std::size_t v, Affinity a);
+
+  /// Number of Exclusive edges among distinct-vertex pairs.
+  [[nodiscard]] std::size_t num_exclusive_edges() const;
+
+ private:
+  std::size_t n_;
+  std::vector<Affinity> label_;  // row-major n x n, symmetric
+};
+
+}  // namespace ftl::games

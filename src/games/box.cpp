@@ -1,0 +1,184 @@
+#include "games/box.hpp"
+
+#include <cmath>
+
+namespace ftl::games {
+
+CorrelationBox CorrelationBox::from_strategy(const QuantumStrategy& s) {
+  FTL_ASSERT(s.num_x() == 2 && s.num_y() == 2);
+  CorrelationBox box;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          box.p_[x][y][a][b] =
+              s.joint_probability(static_cast<std::size_t>(x),
+                                  static_cast<std::size_t>(y), a, b);
+        }
+      }
+    }
+  }
+  return box;
+}
+
+CorrelationBox CorrelationBox::local_deterministic(int a0, int a1, int b0,
+                                                   int b1) {
+  CorrelationBox box;
+  const int fa[2] = {a0, a1};
+  const int fb[2] = {b0, b1};
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      box.p_[x][y][fa[x]][fb[y]] = 1.0;
+    }
+  }
+  return box;
+}
+
+CorrelationBox CorrelationBox::uniform() {
+  CorrelationBox box;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) box.p_[x][y][a][b] = 0.25;
+      }
+    }
+  }
+  return box;
+}
+
+CorrelationBox CorrelationBox::pr_box() {
+  CorrelationBox box;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      const int target = x & y;
+      for (int a = 0; a < 2; ++a) {
+        box.p_[x][y][a][a ^ target] = 0.5;
+      }
+    }
+  }
+  return box;
+}
+
+bool CorrelationBox::is_valid(double tol) const {
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      double total = 0.0;
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          if (p_[x][y][a][b] < -tol) return false;
+          total += p_[x][y][a][b];
+        }
+      }
+      if (std::abs(total - 1.0) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double CorrelationBox::no_signaling_violation() const {
+  double worst = 0.0;
+  for (int x = 0; x < 2; ++x) {
+    for (int a = 0; a < 2; ++a) {
+      const double m0 = p_[x][0][a][0] + p_[x][0][a][1];
+      const double m1 = p_[x][1][a][0] + p_[x][1][a][1];
+      worst = std::max(worst, std::abs(m0 - m1));
+    }
+  }
+  for (int y = 0; y < 2; ++y) {
+    for (int b = 0; b < 2; ++b) {
+      const double m0 = p_[0][y][0][b] + p_[0][y][1][b];
+      const double m1 = p_[1][y][0][b] + p_[1][y][1][b];
+      worst = std::max(worst, std::abs(m0 - m1));
+    }
+  }
+  return worst;
+}
+
+double CorrelationBox::alice_marginal(int x, int a) const {
+  return p_[x][0][a][0] + p_[x][0][a][1];
+}
+
+double CorrelationBox::correlator(int x, int y) const {
+  return p_[x][y][0][0] + p_[x][y][1][1] - p_[x][y][0][1] - p_[x][y][1][0];
+}
+
+double CorrelationBox::chsh_value() const {
+  return correlator(0, 0) + correlator(0, 1) + correlator(1, 0) -
+         correlator(1, 1);
+}
+
+bool CorrelationBox::is_local_admissible(double tol) const {
+  // Every CHSH variant (minus sign on any of the four correlators, covered
+  // by the sx/sy relabelings plus the overall |.|) must be within +-2.
+  for (int sx = 0; sx < 2; ++sx) {
+    for (int sy = 0; sy < 2; ++sy) {
+      double s = 0.0;
+      for (int x = 0; x < 2; ++x) {
+        for (int y = 0; y < 2; ++y) {
+          const double sign = ((x ^ sx) & (y ^ sy)) != 0 ? -1.0 : 1.0;
+          s += sign * correlator(x, y);
+        }
+      }
+      if (std::abs(s) > 2.0 + tol) return false;
+    }
+  }
+  return true;
+}
+
+bool CorrelationBox::is_quantum_admissible(double tol) const {
+  for (int sx = 0; sx < 2; ++sx) {
+    for (int sy = 0; sy < 2; ++sy) {
+      double s = 0.0;
+      for (int x = 0; x < 2; ++x) {
+        for (int y = 0; y < 2; ++y) {
+          const double sign = ((x ^ sx) & (y ^ sy)) != 0 ? -1.0 : 1.0;
+          s += sign * correlator(x, y);
+        }
+      }
+      if (std::abs(s) > 2.0 * std::sqrt(2.0) + tol) return false;
+    }
+  }
+  return true;
+}
+
+double CorrelationBox::game_value(const TwoPartyGame& game) const {
+  FTL_ASSERT(game.num_x() == 2 && game.num_y() == 2);
+  FTL_ASSERT(game.num_a() == 2 && game.num_b() == 2);
+  double v = 0.0;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          if (game.wins(static_cast<std::size_t>(x),
+                        static_cast<std::size_t>(y),
+                        static_cast<std::size_t>(a),
+                        static_cast<std::size_t>(b))) {
+            v += game.input_prob(static_cast<std::size_t>(x),
+                                 static_cast<std::size_t>(y)) *
+                 p_[x][y][a][b];
+          }
+        }
+      }
+    }
+  }
+  return v;
+}
+
+CorrelationBox CorrelationBox::mix(const CorrelationBox& other,
+                                   double lambda) const {
+  FTL_ASSERT(lambda >= 0.0 && lambda <= 1.0);
+  CorrelationBox box;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          box.p_[x][y][a][b] =
+              lambda * p_[x][y][a][b] + (1.0 - lambda) * other.p_[x][y][a][b];
+        }
+      }
+    }
+  }
+  return box;
+}
+
+}  // namespace ftl::games

@@ -1,0 +1,76 @@
+// Correlation boxes ("behaviours"): joint conditional distributions
+// P(a, b | x, y) for binary inputs and outputs, independent of any
+// particular physical realisation.
+//
+// This is the vocabulary of §2's key claim: entanglement produces
+// correlations "stronger than what any classical system can achieve without
+// communication, while still respecting causality". The box hierarchy makes
+// it precise: local (classical) boxes satisfy |CHSH| <= 2, quantum boxes
+// reach 2*sqrt(2) (Tsirelson), and no-signaling alone allows the PR box's
+// 4. The library uses boxes to verify its sources and to show each level.
+#pragma once
+
+#include "games/game.hpp"
+#include "games/strategy.hpp"
+
+namespace ftl::games {
+
+class CorrelationBox {
+ public:
+  /// Zero-initialised; fill with set() then validate.
+  CorrelationBox() = default;
+
+  /// The box realised by a quantum strategy (exact Born probabilities).
+  [[nodiscard]] static CorrelationBox from_strategy(const QuantumStrategy& s);
+
+  /// Local deterministic box: a = fa(x), b = fb(y).
+  [[nodiscard]] static CorrelationBox local_deterministic(int a0, int a1,
+                                                          int b0, int b1);
+
+  /// Uniformly random outputs.
+  [[nodiscard]] static CorrelationBox uniform();
+
+  /// The Popescu–Rohrlich box: a XOR b = x AND y with certainty, uniform
+  /// marginals. Maximally no-signaling-nonlocal; NOT quantum-realisable.
+  [[nodiscard]] static CorrelationBox pr_box();
+
+  [[nodiscard]] double p(int x, int y, int a, int b) const {
+    return p_[x][y][a][b];
+  }
+  void set(int x, int y, int a, int b, double v) { p_[x][y][a][b] = v; }
+
+  /// Non-negative entries, each conditional distribution sums to 1.
+  [[nodiscard]] bool is_valid(double tol = 1e-9) const;
+
+  /// Largest dependence of one side's marginal on the other side's input;
+  /// 0 (within tol) iff the box is no-signaling.
+  [[nodiscard]] double no_signaling_violation() const;
+
+  /// Marginal P(a | x) computed with y = 0 (callers should have checked
+  /// no-signaling).
+  [[nodiscard]] double alice_marginal(int x, int a) const;
+
+  /// Correlator E(x, y) = P(a = b) - P(a != b).
+  [[nodiscard]] double correlator(int x, int y) const;
+
+  /// CHSH combination S = E(0,0) + E(0,1) + E(1,0) - E(1,1).
+  [[nodiscard]] double chsh_value() const;
+
+  /// |S| <= 2: realisable with shared randomness alone.
+  [[nodiscard]] bool is_local_admissible(double tol = 1e-9) const;
+
+  /// |S| <= 2*sqrt(2): necessary for quantum realisability (Tsirelson).
+  [[nodiscard]] bool is_quantum_admissible(double tol = 1e-9) const;
+
+  /// Expected win probability against a binary-output game.
+  [[nodiscard]] double game_value(const TwoPartyGame& game) const;
+
+  /// Convex mixture: lambda * this + (1 - lambda) * other.
+  [[nodiscard]] CorrelationBox mix(const CorrelationBox& other,
+                                   double lambda) const;
+
+ private:
+  double p_[2][2][2][2] = {};
+};
+
+}  // namespace ftl::games

@@ -1,0 +1,97 @@
+#include "games/game.hpp"
+
+#include <cmath>
+
+namespace ftl::games {
+
+TwoPartyGame::TwoPartyGame(
+    std::vector<std::vector<std::vector<std::vector<bool>>>> wins,
+    std::vector<std::vector<double>> input_dist)
+    : wins_(std::move(wins)), input_dist_(std::move(input_dist)) {
+  FTL_ASSERT(!wins_.empty() && !wins_.front().empty());
+  FTL_ASSERT(!wins_.front().front().empty());
+  FTL_ASSERT(!wins_.front().front().front().empty());
+  FTL_ASSERT(input_dist_.size() == wins_.size());
+  double total = 0.0;
+  for (std::size_t x = 0; x < wins_.size(); ++x) {
+    FTL_ASSERT(input_dist_[x].size() == wins_[x].size());
+    for (std::size_t y = 0; y < wins_[x].size(); ++y) {
+      FTL_ASSERT(input_dist_[x][y] >= 0.0);
+      total += input_dist_[x][y];
+    }
+  }
+  FTL_ASSERT_MSG(std::abs(total - 1.0) < 1e-9,
+                 "input distribution must sum to 1");
+}
+
+std::vector<std::vector<double>> TwoPartyGame::uniform_inputs(std::size_t nx,
+                                                              std::size_t ny) {
+  const double p = 1.0 / static_cast<double>(nx * ny);
+  return std::vector<std::vector<double>>(nx, std::vector<double>(ny, p));
+}
+
+double TwoPartyGame::deterministic_value(
+    const std::vector<std::size_t>& fa,
+    const std::vector<std::size_t>& fb) const {
+  FTL_ASSERT(fa.size() == num_x() && fb.size() == num_y());
+  double v = 0.0;
+  for (std::size_t x = 0; x < num_x(); ++x) {
+    for (std::size_t y = 0; y < num_y(); ++y) {
+      if (wins_[x][y][fa[x]][fb[y]]) v += input_dist_[x][y];
+    }
+  }
+  return v;
+}
+
+double TwoPartyGame::strategy_value(
+    const std::vector<std::vector<std::vector<std::vector<double>>>>& p)
+    const {
+  double v = 0.0;
+  for (std::size_t x = 0; x < num_x(); ++x) {
+    for (std::size_t y = 0; y < num_y(); ++y) {
+      if (input_dist_[x][y] == 0.0) continue;
+      double win_given_xy = 0.0;
+      for (std::size_t a = 0; a < num_a(); ++a) {
+        for (std::size_t b = 0; b < num_b(); ++b) {
+          if (wins_[x][y][a][b]) win_given_xy += p[x][y][a][b];
+        }
+      }
+      v += input_dist_[x][y] * win_given_xy;
+    }
+  }
+  return v;
+}
+
+ClassicalOptimum classical_value(const TwoPartyGame& game) {
+  const std::size_t nx = game.num_x();
+  const std::size_t ny = game.num_y();
+  const std::size_t na = game.num_a();
+  const std::size_t nb = game.num_b();
+
+  // Enumerate deterministic strategies as mixed-radix counters.
+  auto next = [](std::vector<std::size_t>& f, std::size_t radix) {
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      if (++f[i] < radix) return true;
+      f[i] = 0;
+    }
+    return false;
+  };
+
+  ClassicalOptimum best;
+  best.value = -1.0;
+  std::vector<std::size_t> fa(nx, 0);
+  do {
+    std::vector<std::size_t> fb(ny, 0);
+    do {
+      const double v = game.deterministic_value(fa, fb);
+      if (v > best.value) {
+        best.value = v;
+        best.alice = fa;
+        best.bob = fb;
+      }
+    } while (next(fb, nb));
+  } while (next(fa, na));
+  return best;
+}
+
+}  // namespace ftl::games

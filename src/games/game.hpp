@@ -1,0 +1,74 @@
+// General finite two-party non-local games.
+//
+// A game is: finite input sets X, Y; finite output sets A, B; a distribution
+// pi over input pairs; and a win predicate V(x, y, a, b). A referee draws
+// (x, y) ~ pi, hands x to Alice and y to Bob, who answer a and b without
+// communicating. This mirrors §2 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ftl::games {
+
+class TwoPartyGame {
+ public:
+  /// `wins[x][y][a][b]` is the win predicate; `input_dist[x][y]` must sum
+  /// to 1.
+  TwoPartyGame(std::vector<std::vector<std::vector<std::vector<bool>>>> wins,
+               std::vector<std::vector<double>> input_dist);
+
+  /// Uniform input distribution over all (x, y) pairs.
+  [[nodiscard]] static std::vector<std::vector<double>> uniform_inputs(
+      std::size_t nx, std::size_t ny);
+
+  [[nodiscard]] std::size_t num_x() const { return wins_.size(); }
+  [[nodiscard]] std::size_t num_y() const { return wins_.front().size(); }
+  [[nodiscard]] std::size_t num_a() const {
+    return wins_.front().front().size();
+  }
+  [[nodiscard]] std::size_t num_b() const {
+    return wins_.front().front().front().size();
+  }
+
+  [[nodiscard]] bool wins(std::size_t x, std::size_t y, std::size_t a,
+                          std::size_t b) const {
+    return wins_[x][y][a][b];
+  }
+  [[nodiscard]] double input_prob(std::size_t x, std::size_t y) const {
+    return input_dist_[x][y];
+  }
+
+  /// Expected win probability of a pair of deterministic strategies
+  /// a = fa(x), b = fb(y).
+  [[nodiscard]] double deterministic_value(
+      const std::vector<std::size_t>& fa,
+      const std::vector<std::size_t>& fb) const;
+
+  /// Expected win probability of an arbitrary conditional distribution
+  /// p(a, b | x, y), given as p[x][y][a][b].
+  [[nodiscard]] double strategy_value(
+      const std::vector<std::vector<std::vector<std::vector<double>>>>& p)
+      const;
+
+ private:
+  std::vector<std::vector<std::vector<std::vector<bool>>>> wins_;
+  std::vector<std::vector<double>> input_dist_;
+};
+
+struct ClassicalOptimum {
+  double value = 0.0;
+  std::vector<std::size_t> alice;  ///< fa: x -> a
+  std::vector<std::size_t> bob;    ///< fb: y -> b
+};
+
+/// Exact classical value by exhaustive search over deterministic strategies.
+/// Shared randomness cannot beat this: the value is linear in the strategy
+/// mixture, so some deterministic pair attains the maximum.
+/// Cost is |A|^|X| * |B|^|Y| evaluations — fine for the few-input games here.
+[[nodiscard]] ClassicalOptimum classical_value(const TwoPartyGame& game);
+
+}  // namespace ftl::games

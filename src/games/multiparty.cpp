@@ -1,0 +1,112 @@
+#include "games/multiparty.hpp"
+
+#include <cmath>
+
+#include "qcore/gates.hpp"
+#include "util/assert.hpp"
+
+namespace ftl::games {
+
+namespace {
+
+/// X basis for input 0 (columns |+>, |->), Y basis for input 1 (columns
+/// (|0> + i|1>)/sqrt2, (|0> - i|1>)/sqrt2).
+qcore::CMat measurement_basis(int input_bit) {
+  using qcore::Cx;
+  const double r = 1.0 / std::sqrt(2.0);
+  if (input_bit == 0) {
+    return qcore::CMat{{Cx{r, 0.0}, Cx{r, 0.0}}, {Cx{r, 0.0}, Cx{-r, 0.0}}};
+  }
+  return qcore::CMat{{Cx{r, 0.0}, Cx{r, 0.0}}, {Cx{0.0, r}, Cx{0.0, -r}}};
+}
+
+int popcount(const std::vector<int>& bits) {
+  int s = 0;
+  for (int b : bits) s += b;
+  return s;
+}
+
+}  // namespace
+
+GhzParityGame::GhzParityGame(std::size_t num_parties) : n_(num_parties) {
+  FTL_ASSERT_MSG(num_parties >= 3 && num_parties <= 10,
+                 "Mermin game sized for 3..10 parties");
+  for (std::size_t bits = 0; bits < (std::size_t{1} << n_); ++bits) {
+    std::vector<int> in(n_);
+    int parity = 0;
+    for (std::size_t k = 0; k < n_; ++k) {
+      in[k] = static_cast<int>((bits >> k) & 1);
+      parity ^= in[k];
+    }
+    if (parity == 0) inputs_.push_back(std::move(in));
+  }
+}
+
+int GhzParityGame::target_parity(const std::vector<int>& input) const {
+  const int sum = popcount(input);
+  FTL_ASSERT_MSG(sum % 2 == 0, "input must have even parity");
+  return (sum / 2) % 2;
+}
+
+bool GhzParityGame::wins(const std::vector<int>& input,
+                         const std::vector<int>& output) const {
+  FTL_ASSERT(input.size() == n_ && output.size() == n_);
+  int xr = 0;
+  for (int o : output) xr ^= o;
+  return xr == target_parity(input);
+}
+
+double GhzParityGame::classical_value() const {
+  // Each party's deterministic strategy is a map {0,1} -> {0,1}: 4 choices,
+  // encoded in 2 bits (output for input 0, output for input 1).
+  const std::size_t num_strategies = std::size_t{1} << (2 * n_);
+  double best = 0.0;
+  for (std::size_t s = 0; s < num_strategies; ++s) {
+    std::size_t wins_count = 0;
+    for (const auto& in : inputs_) {
+      int xr = 0;
+      for (std::size_t k = 0; k < n_; ++k) {
+        const int out = static_cast<int>((s >> (2 * k + in[k])) & 1);
+        xr ^= out;
+      }
+      if (xr == target_parity(in)) ++wins_count;
+    }
+    best = std::max(best, static_cast<double>(wins_count) /
+                              static_cast<double>(inputs_.size()));
+  }
+  return best;
+}
+
+double GhzParityGame::quantum_value_exact() const {
+  double total = 0.0;
+  for (const auto& in : inputs_) {
+    // Rotate each qubit into its measurement frame, then sum the Born
+    // weights of computational outcomes with the target parity.
+    qcore::StateVec psi = qcore::StateVec::ghz(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      psi.apply1(measurement_basis(in[k]).adjoint(), k);
+    }
+    const int target = target_parity(in);
+    double p = 0.0;
+    const auto probs = psi.probabilities();
+    for (std::size_t idx = 0; idx < probs.size(); ++idx) {
+      const int parity = __builtin_popcountll(idx) & 1;
+      if (parity == target) p += probs[idx];
+    }
+    total += p;
+  }
+  return total / static_cast<double>(inputs_.size());
+}
+
+std::vector<int> GhzParityGame::play_quantum(const std::vector<int>& input,
+                                             util::Rng& rng) const {
+  FTL_ASSERT(input.size() == n_);
+  qcore::StateVec psi = qcore::StateVec::ghz(n_);
+  std::vector<int> out(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    out[k] = psi.measure(k, measurement_basis(input[k]), rng);
+  }
+  return out;
+}
+
+}  // namespace ftl::games

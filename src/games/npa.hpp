@@ -1,0 +1,47 @@
+// NPA upper bounds for two-input binary games (level 1 + AB).
+//
+// §4.1 ("General games") cites algorithms [39] that decide whether a
+// quantum advantage is possible for an arbitrary finite game. The standard
+// machinery is the Navascues-Pironio-Acin hierarchy: a semidefinite
+// relaxation whose moment matrix ranges over monomials of the players'
+// observables. We implement the "1 + AB" level for two inputs per side and
+// binary outcomes — the level known to be *exact* for XOR games (Tsirelson)
+// and for CHSH-like games, which lets the library certify quantum values:
+//
+//     seesaw_optimize(game)  <=  true quantum value  <=  npa1_upper_bound(game)
+//
+// When the two ends meet (they do for every game in our tests), the value
+// is certified without trusting either solver alone.
+//
+// The moment matrix is over M = {1, A0, A1, B0, B1, A0B0, A0B1, A1B0,
+// A1B1} with +-1-valued observables; operator identities (A^2 = 1,
+// [A, B] = 0, Hermiticity of the real part) tie its 36 off-diagonal
+// entries to 16 free parameters. We maximise the (linear) win probability
+// over the PSD slice with a log-det barrier interior-point method.
+#pragma once
+
+#include "games/game.hpp"
+
+namespace ftl::games {
+
+struct NpaOptions {
+  /// Final barrier weight; the duality gap is about 9 * mu_final.
+  double mu_final = 1e-9;
+  /// Barrier reduction factor per outer iteration.
+  double mu_shrink = 0.2;
+  int newton_steps_per_mu = 50;
+  double newton_tol = 1e-12;
+};
+
+struct NpaResult {
+  /// Upper bound on the quantum win probability.
+  double upper_bound = 0.0;
+  bool converged = false;
+};
+
+/// NPA (level 1+AB) upper bound for a game with 2 inputs per player and
+/// binary outputs.
+[[nodiscard]] NpaResult npa1_upper_bound(const TwoPartyGame& game,
+                                         const NpaOptions& opts = {});
+
+}  // namespace ftl::games

@@ -1,0 +1,65 @@
+// Tsirelson's construction: from SDP vectors to an executable strategy.
+//
+// The sdp module computes the optimal *vectors* {u_x}, {v_y} of an XOR
+// game. Tsirelson's theorem says the corresponding correlations are
+// realisable by measuring anticommuting Clifford-algebra observables on a
+// maximally entangled state:
+//
+//   gamma_1..gamma_r  : Jordan-Wigner Pauli strings on k = ceil(r/2) qubits
+//   Alice, input x    : A_x = sum_k u_{x,k} gamma_k          (A_x^2 = 1)
+//   Bob, input y      : B_y = sum_k v_{y,k} gamma_k^T
+//   shared state      : |Phi_d> = sum_i |i>|i> / sqrt(d),  d = 2^k
+//
+// giving E(x, y) = <Phi| A_x (x) B_y |Phi> = Tr(A_x B_y) / d = <u_x, v_y>.
+//
+// This closes the loop the paper leaves implicit in §4.1: the library does
+// not merely *score* arbitrary XOR games (Figure 3); it exhibits the
+// measurements a QNIC would actually perform, and the tests play them on
+// the simulator to confirm the SDP value is physically achieved.
+#pragma once
+
+#include "games/xor_game.hpp"
+#include "qcore/pauli.hpp"
+#include "sdp/tsirelson.hpp"
+
+namespace ftl::games {
+
+class RealizedXorStrategy {
+ public:
+  /// Builds the construction from a game and its Tsirelson vectors. The
+  /// vector dimension r fixes the register: 2 * ceil(r/2) qubits total.
+  RealizedXorStrategy(XorGame game, const sdp::XorBiasResult& vectors);
+
+  [[nodiscard]] std::size_t qubits_per_party() const { return k_; }
+
+  /// Fresh copy of the shared maximally entangled state.
+  [[nodiscard]] qcore::StateVec shared_state() const;
+
+  /// Exact correlator E(x, y) realised by the observables on the shared
+  /// state (must equal <u_x, v_y>; the tests check it).
+  [[nodiscard]] double correlator(std::size_t x, std::size_t y) const;
+
+  /// Exact win probability (via the correlators).
+  [[nodiscard]] double value() const;
+
+  /// Plays one round: both parties measure their Clifford observables on a
+  /// fresh shared state; returns the output bits.
+  [[nodiscard]] std::pair<int, int> play(std::size_t x, std::size_t y,
+                                         util::Rng& rng) const;
+
+  /// The observables themselves (full-register Pauli sums).
+  [[nodiscard]] const qcore::PauliSum& alice_observable(std::size_t x) const;
+  [[nodiscard]] const qcore::PauliSum& bob_observable(std::size_t y) const;
+
+ private:
+  XorGame game_;
+  std::size_t k_;  // qubits per party
+  std::vector<qcore::PauliSum> alice_;
+  std::vector<qcore::PauliSum> bob_;
+};
+
+/// Convenience: solve the game's SDP and realize the optimal strategy.
+[[nodiscard]] RealizedXorStrategy realize_optimal_strategy(
+    const XorGame& game, const sdp::GramOptions& opts = {});
+
+}  // namespace ftl::games

@@ -1,0 +1,59 @@
+// See-saw optimisation of quantum strategies for arbitrary two-party games.
+//
+// §4.1 ("General games") cites Liang & Doherty's algorithms [39] for
+// bounding quantum values of arbitrary finite games. The standard lower-
+// bound technique is the *see-saw*: fix the shared state and one player's
+// measurements, then the other player's optimal measurement for each input
+// is a projector onto the positive eigenspace of an effective operator —
+// an eigenproblem we solve with qcore::eigh. Alternating sides yields a
+// monotonically improving, physically realisable strategy. (Upper bounds
+// need the NPA/SDP hierarchy; for XOR games our sdp module is already
+// exact, which the tests use to validate this solver.)
+//
+// Scope: two players, one qubit each (the paper's hardware model), binary
+// outcomes, arbitrary win predicate and input distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "games/game.hpp"
+#include "games/strategy.hpp"
+
+namespace ftl::games {
+
+struct SeesawOptions {
+  int max_rounds = 60;
+  /// Stop when a full round improves the value by less than this.
+  double tol = 1e-10;
+  /// Independent random restarts (see-saw only guarantees local optima).
+  int restarts = 6;
+  std::uint64_t seed = 2024;
+  /// If true, also optimise the shared two-qubit state (the dominant
+  /// eigenvector of the averaged win operator); otherwise keep the Bell
+  /// pair fixed.
+  bool optimize_state = true;
+};
+
+struct SeesawResult {
+  /// Best win probability found, evaluated on the optimised *projective
+  /// effects* (which may be rank 0 or 2, i.e. deterministic outputs —
+  /// perfectly physical POVMs). A true lower bound on the quantum value.
+  double value = 0.0;
+  /// The same measurements packaged as basis-measurement strategy. When an
+  /// optimal effect is deterministic the basis frame cannot express it
+  /// (both columns are measured, outputs follow the outcome), so
+  /// strategy_value can fall below `value`; for non-degenerate optima
+  /// (CHSH etc.) the two agree to machine precision.
+  QuantumStrategy strategy;
+  double strategy_value = 0.0;
+  int rounds_used = 0;
+  bool converged = false;
+};
+
+/// Best quantum strategy found for `game` (binary outcomes, one qubit per
+/// player). `value` is a lower bound on the quantum value and is exact for
+/// CHSH-like games (validated against Tsirelson and NPA in tests).
+[[nodiscard]] SeesawResult seesaw_optimize(const TwoPartyGame& game,
+                                           const SeesawOptions& opts = {});
+
+}  // namespace ftl::games

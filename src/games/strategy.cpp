@@ -1,0 +1,79 @@
+#include "games/strategy.hpp"
+
+namespace ftl::games {
+
+QuantumStrategy::QuantumStrategy(qcore::Density state,
+                                 std::vector<qcore::CMat> alice_bases,
+                                 std::vector<qcore::CMat> bob_bases)
+    : state_(std::move(state)),
+      alice_bases_(std::move(alice_bases)),
+      bob_bases_(std::move(bob_bases)) {
+  FTL_ASSERT_MSG(state_.num_qubits() == 2,
+                 "QuantumStrategy uses one qubit per party");
+  FTL_ASSERT(!alice_bases_.empty() && !bob_bases_.empty());
+  for (const auto& b : alice_bases_) FTL_ASSERT(b.is_unitary(1e-8));
+  for (const auto& b : bob_bases_) FTL_ASSERT(b.is_unitary(1e-8));
+}
+
+double QuantumStrategy::joint_probability(std::size_t x, std::size_t y, int a,
+                                          int b) const {
+  FTL_ASSERT(x < num_x() && y < num_y());
+  // P(a, b) = Tr[(Pa (x) Pb) rho]: collapse on Alice's outcome, then read
+  // Bob's conditional probability.
+  const double pa_check =
+      state_.outcome_probability(/*qubit=*/0, alice_bases_[x], a);
+  if (pa_check <= 1e-15) return 0.0;
+  auto [after_alice, pa] =
+      state_.collapse(/*qubit=*/0, alice_bases_[x], a);
+  const double pb_given_a =
+      after_alice.outcome_probability(/*qubit=*/1, bob_bases_[y], b);
+  return pa * pb_given_a;
+}
+
+double QuantumStrategy::alice_marginal(std::size_t x, std::size_t y,
+                                       int a) const {
+  return joint_probability(x, y, a, 0) + joint_probability(x, y, a, 1);
+}
+
+double QuantumStrategy::bob_marginal(std::size_t x, std::size_t y,
+                                     int b) const {
+  return joint_probability(x, y, 0, b) + joint_probability(x, y, 1, b);
+}
+
+double QuantumStrategy::value(const TwoPartyGame& game) const {
+  FTL_ASSERT(game.num_x() == num_x() && game.num_y() == num_y());
+  FTL_ASSERT_MSG(game.num_a() == 2 && game.num_b() == 2,
+                 "quantum strategies here have binary outputs");
+  double v = 0.0;
+  for (std::size_t x = 0; x < num_x(); ++x) {
+    for (std::size_t y = 0; y < num_y(); ++y) {
+      const double pxy = game.input_prob(x, y);
+      if (pxy == 0.0) continue;
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          if (game.wins(x, y, static_cast<std::size_t>(a),
+                        static_cast<std::size_t>(b))) {
+            v += pxy * joint_probability(x, y, a, b);
+          }
+        }
+      }
+    }
+  }
+  return v;
+}
+
+std::pair<int, int> QuantumStrategy::play(std::size_t x, std::size_t y,
+                                          util::Rng& rng) const {
+  FTL_ASSERT(x < num_x() && y < num_y());
+  qcore::Density rho = state_;
+  const int a = rho.measure(/*qubit=*/0, alice_bases_[x], rng);
+  const int b = rho.measure(/*qubit=*/1, bob_bases_[y], rng);
+  return {a, b};
+}
+
+double QuantumStrategy::correlator(std::size_t x, std::size_t y) const {
+  return joint_probability(x, y, 0, 0) + joint_probability(x, y, 1, 1) -
+         joint_probability(x, y, 0, 1) - joint_probability(x, y, 1, 0);
+}
+
+}  // namespace ftl::games

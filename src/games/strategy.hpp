@@ -1,0 +1,57 @@
+// Quantum strategies for two-party binary-output games: one qubit per party,
+// a (possibly noisy) shared two-qubit state, and one measurement basis per
+// input. This is exactly the hardware model of §3: each server's QNIC holds
+// one half of an entangled pair and measures it in an input-dependent basis.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "games/game.hpp"
+#include "qcore/density.hpp"
+#include "qcore/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::games {
+
+class QuantumStrategy {
+ public:
+  /// `alice_bases[x]` / `bob_bases[y]` are 2x2 unitaries whose columns are
+  /// the measurement basis for that input. `state` must be two qubits;
+  /// qubit 0 is Alice's, qubit 1 Bob's.
+  QuantumStrategy(qcore::Density state, std::vector<qcore::CMat> alice_bases,
+                  std::vector<qcore::CMat> bob_bases);
+
+  [[nodiscard]] std::size_t num_x() const { return alice_bases_.size(); }
+  [[nodiscard]] std::size_t num_y() const { return bob_bases_.size(); }
+  [[nodiscard]] const qcore::Density& state() const { return state_; }
+
+  /// Exact Born probability P(a, b | x, y).
+  [[nodiscard]] double joint_probability(std::size_t x, std::size_t y, int a,
+                                         int b) const;
+
+  /// Alice's marginal P(a | x, y) — by no-signaling this must not depend on
+  /// y; the test suite checks that.
+  [[nodiscard]] double alice_marginal(std::size_t x, std::size_t y,
+                                      int a) const;
+  [[nodiscard]] double bob_marginal(std::size_t x, std::size_t y, int b) const;
+
+  /// Expected win probability against a (binary-output) game.
+  [[nodiscard]] double value(const TwoPartyGame& game) const;
+
+  /// Samples one round: both parties measure their halves. Physically the
+  /// measurements are spacelike separated; simulating them sequentially
+  /// yields the same joint distribution (as the paper notes in §2).
+  [[nodiscard]] std::pair<int, int> play(std::size_t x, std::size_t y,
+                                         util::Rng& rng) const;
+
+  /// Correlator E(x, y) = P(a = b | x, y) - P(a != b | x, y).
+  [[nodiscard]] double correlator(std::size_t x, std::size_t y) const;
+
+ private:
+  qcore::Density state_;
+  std::vector<qcore::CMat> alice_bases_;
+  std::vector<qcore::CMat> bob_bases_;
+};
+
+}  // namespace ftl::games

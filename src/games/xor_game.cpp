@@ -1,0 +1,121 @@
+#include "games/xor_game.hpp"
+
+#include <cmath>
+
+namespace ftl::games {
+
+XorGame::XorGame(std::vector<std::vector<int>> f,
+                 std::vector<std::vector<double>> input_dist)
+    : f_(std::move(f)), pi_(std::move(input_dist)) {
+  FTL_ASSERT(!f_.empty() && !f_.front().empty());
+  FTL_ASSERT(pi_.size() == f_.size());
+  double total = 0.0;
+  for (std::size_t x = 0; x < f_.size(); ++x) {
+    FTL_ASSERT(f_[x].size() == f_.front().size());
+    FTL_ASSERT(pi_[x].size() == f_[x].size());
+    for (std::size_t y = 0; y < f_[x].size(); ++y) {
+      FTL_ASSERT(f_[x][y] == 0 || f_[x][y] == 1);
+      FTL_ASSERT(pi_[x][y] >= 0.0);
+      total += pi_[x][y];
+    }
+  }
+  FTL_ASSERT_MSG(std::abs(total - 1.0) < 1e-9,
+                 "input distribution must sum to 1");
+  FTL_ASSERT_MSG(f_.size() <= 24, "classical search is 2^num_x");
+}
+
+XorGame XorGame::from_affinity(const AffinityGraph& g, bool include_diagonal) {
+  const std::size_t n = g.num_types();
+  std::vector<std::vector<int>> f(n, std::vector<int>(n, 0));
+  std::vector<std::vector<double>> pi(n, std::vector<double>(n, 0.0));
+  const double w =
+      include_diagonal
+          ? 1.0 / static_cast<double>(n * n)
+          : 1.0 / static_cast<double>(n * (n - 1));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      f[u][v] = g.at(u, v) == Affinity::kExclusive ? 1 : 0;
+      if (u != v || include_diagonal) pi[u][v] = w;
+    }
+  }
+  return XorGame(std::move(f), std::move(pi));
+}
+
+XorGame XorGame::chsh(bool flipped) {
+  std::vector<std::vector<int>> f(2, std::vector<int>(2, flipped ? 1 : 0));
+  f[1][1] = flipped ? 0 : 1;
+  return XorGame(std::move(f), TwoPartyGame::uniform_inputs(2, 2));
+}
+
+std::vector<std::vector<double>> XorGame::cost_matrix() const {
+  std::vector<std::vector<double>> m(num_x(), std::vector<double>(num_y()));
+  for (std::size_t x = 0; x < num_x(); ++x) {
+    for (std::size_t y = 0; y < num_y(); ++y) {
+      m[x][y] = pi_[x][y] * (f_[x][y] == 0 ? 1.0 : -1.0);
+    }
+  }
+  return m;
+}
+
+double XorGame::classical_bias() const { return classical_strategy().bias; }
+
+XorGame::ClassicalStrategy XorGame::classical_strategy() const {
+  const auto m = cost_matrix();
+  const std::size_t nx = num_x();
+  const std::size_t ny = num_y();
+  ClassicalStrategy best;
+  best.bias = -1e300;
+  // For each +-1 assignment to Alice, Bob's optimal reply at y is
+  // sign(sum_x M_xy a_x), contributing |sum_x M_xy a_x|.
+  for (std::size_t bits = 0; bits < (std::size_t{1} << nx); ++bits) {
+    double bias = 0.0;
+    std::vector<int> bob(ny, 0);
+    for (std::size_t y = 0; y < ny; ++y) {
+      double col = 0.0;
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double ax = ((bits >> x) & 1) != 0 ? -1.0 : 1.0;
+        col += m[x][y] * ax;
+      }
+      bob[y] = col < 0.0 ? 1 : 0;  // sign -1 encodes output bit 1
+      bias += std::abs(col);
+    }
+    if (bias > best.bias) {
+      best.bias = bias;
+      best.bob = std::move(bob);
+      best.alice.assign(nx, 0);
+      for (std::size_t x = 0; x < nx; ++x) {
+        best.alice[x] = static_cast<int>((bits >> x) & 1);
+      }
+    }
+  }
+  return best;
+}
+
+sdp::XorBiasResult XorGame::quantum_bias(const sdp::GramOptions& opts) const {
+  return sdp::xor_quantum_bias(cost_matrix(), opts);
+}
+
+bool XorGame::has_quantum_advantage(double tol,
+                                    const sdp::GramOptions& opts) const {
+  return quantum_bias(opts).bias > classical_bias() + tol;
+}
+
+TwoPartyGame XorGame::to_two_party_game() const {
+  std::vector<std::vector<std::vector<std::vector<bool>>>> wins(
+      num_x(),
+      std::vector<std::vector<std::vector<bool>>>(
+          num_y(),
+          std::vector<std::vector<bool>>(2, std::vector<bool>(2, false))));
+  for (std::size_t x = 0; x < num_x(); ++x) {
+    for (std::size_t y = 0; y < num_y(); ++y) {
+      for (std::size_t a = 0; a < 2; ++a) {
+        for (std::size_t b = 0; b < 2; ++b) {
+          wins[x][y][a][b] = static_cast<int>(a ^ b) == f_[x][y];
+        }
+      }
+    }
+  }
+  return TwoPartyGame(std::move(wins), pi_);
+}
+
+}  // namespace ftl::games

@@ -1,0 +1,84 @@
+// XOR games: two-party games whose win condition depends only on a XOR b.
+//
+// These are the games §4.1 generalises load balancing to: f(x, y) = 1 means
+// the parties should answer differently (route to different servers),
+// f(x, y) = 0 means answer the same (co-locate). Their classical value is
+// exactly computable by exhaustive sign search and their quantum value by
+// Tsirelson's SDP (src/sdp) — the same pipeline the paper ran via Toqito.
+#pragma once
+
+#include <vector>
+
+#include "games/affinity.hpp"
+#include "games/game.hpp"
+#include "sdp/tsirelson.hpp"
+
+namespace ftl::games {
+
+class XorGame {
+ public:
+  /// `f[x][y]` in {0, 1}: the required value of a XOR b. `input_dist` must
+  /// sum to 1.
+  XorGame(std::vector<std::vector<int>> f,
+          std::vector<std::vector<double>> input_dist);
+
+  /// The load-balancing game of an affinity graph: both parties receive
+  /// connected vertices (task types) as inputs; Exclusive => answers must
+  /// differ. Following the paper's Figure-3 construction the inputs range
+  /// over *edges*, i.e. uniform over ordered pairs of distinct vertices;
+  /// pass include_diagonal = true to also referee equal inputs (same task
+  /// type => co-locate), which weakens the advantage (the diagonal rewards
+  /// globally aligned classical strategies).
+  [[nodiscard]] static XorGame from_affinity(const AffinityGraph& g,
+                                             bool include_diagonal = false);
+
+  /// CHSH as an XOR game (optionally the flipped LB variant).
+  [[nodiscard]] static XorGame chsh(bool flipped = false);
+
+  [[nodiscard]] std::size_t num_x() const { return f_.size(); }
+  [[nodiscard]] std::size_t num_y() const { return f_.front().size(); }
+  [[nodiscard]] int f(std::size_t x, std::size_t y) const { return f_[x][y]; }
+  [[nodiscard]] double input_prob(std::size_t x, std::size_t y) const {
+    return pi_[x][y];
+  }
+
+  /// Cost matrix M_xy = pi(x,y) * (-1)^{f(x,y)}; both values below are
+  /// biases with respect to it: bias = sum_xy M_xy E(x, y), win probability
+  /// = (1 + bias) / 2.
+  [[nodiscard]] std::vector<std::vector<double>> cost_matrix() const;
+
+  /// Exact classical bias: max over +-1 assignments a_x, b_y of
+  /// sum M_xy a_x b_y. For fixed a the optimal b is a sign readout, so the
+  /// search is 2^{num_x} * num_x * num_y.
+  [[nodiscard]] double classical_bias() const;
+
+  /// The witnessing deterministic strategy: output bits per input
+  /// (0 maps to sign +1). Shared randomness cannot improve on it.
+  struct ClassicalStrategy {
+    std::vector<int> alice;  ///< bit for each x
+    std::vector<int> bob;    ///< bit for each y
+    double bias = 0.0;
+  };
+  [[nodiscard]] ClassicalStrategy classical_strategy() const;
+
+  /// Quantum bias via the Tsirelson SDP.
+  [[nodiscard]] sdp::XorBiasResult quantum_bias(
+      const sdp::GramOptions& opts = {}) const;
+
+  [[nodiscard]] double classical_value() const {
+    return (1.0 + classical_bias()) / 2.0;
+  }
+
+  /// True iff the quantum bias exceeds the classical one by more than tol.
+  [[nodiscard]] bool has_quantum_advantage(double tol = 1e-5,
+                                           const sdp::GramOptions& opts = {}) const;
+
+  /// View as a general TwoPartyGame (binary outputs).
+  [[nodiscard]] TwoPartyGame to_two_party_game() const;
+
+ private:
+  std::vector<std::vector<int>> f_;
+  std::vector<std::vector<double>> pi_;
+};
+
+}  // namespace ftl::games

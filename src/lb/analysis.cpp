@@ -1,0 +1,46 @@
+#include "lb/analysis.hpp"
+
+#include "util/assert.hpp"
+
+namespace ftl::lb {
+
+ArrivalMoments ArrivalMoments::from_binomial(std::size_t n, double p) {
+  FTL_ASSERT(p >= 0.0 && p <= 1.0);
+  ArrivalMoments a;
+  const double nd = static_cast<double>(n);
+  a.mean = nd * p;
+  // E[A^2] = Var + mean^2 = n p (1-p) + (n p)^2.
+  a.second_moment = nd * p * (1.0 - p) + a.mean * a.mean;
+  return a;
+}
+
+ArrivalMoments ArrivalMoments::from_poisson(double lambda) {
+  FTL_ASSERT(lambda >= 0.0);
+  return ArrivalMoments{lambda, lambda + lambda * lambda};
+}
+
+double unit_service_mean_queue(const ArrivalMoments& a) {
+  FTL_ASSERT_MSG(a.mean < 1.0, "queue is unstable at load >= 1");
+  // Square the Lindley recursion in steady state; the boundary term is
+  // fixed by flow balance E[served] = E[A].
+  return (a.second_moment - a.mean) / (2.0 * (1.0 - a.mean));
+}
+
+double unit_service_mean_wait(const ArrivalMoments& a) {
+  FTL_ASSERT(a.mean > 0.0);
+  return unit_service_mean_queue(a) / a.mean;
+}
+
+StabilityBounds paper_policy_stability_bounds(double p_colocate) {
+  FTL_ASSERT(p_colocate >= 0.0 && p_colocate <= 1.0);
+  // Per unit load, a server sees p_colocate type-C and (1 - p_colocate)
+  // type-E work. E needs dedicated slots; C consumes between 1 (never
+  // paired) and 1/2 (always paired) slot per task. Solving
+  // load * (1 - p) + load * p / capacity < 1:
+  StabilityBounds b;
+  b.lower = 1.0;  // capacity 1 for C: load * ((1-p) + p) < 1
+  b.upper = 1.0 / (1.0 - p_colocate / 2.0);  // capacity 2 for C
+  return b;
+}
+
+}  // namespace ftl::lb

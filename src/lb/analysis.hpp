@@ -1,0 +1,48 @@
+// Analytical queueing results used to validate the cluster simulator.
+//
+// Under random assignment each server is an independent discrete-time
+// queue with i.i.d. batch arrivals. For unit service the Lindley recursion
+// Q' = (Q + A - 1)^+ has the exact stationary mean
+//
+//     E[Q] = (E[A^2] - E[A]) / (2 (1 - E[A]))        (E[A] < 1)
+//
+// which pins down the simulator's pure-type-E behaviour with no free
+// parameters. For the paper's C-priority policy we bound the stability
+// threshold: C capacity lies between 1 and 2 per slot (single Cs waste
+// half a slot), so the knee of Figure 4 must fall between the two bounds —
+// a sanity check the tests enforce against the measured knee.
+#pragma once
+
+#include <cstddef>
+
+namespace ftl::lb {
+
+/// First two moments of the per-step arrival batch at one server.
+struct ArrivalMoments {
+  double mean = 0.0;
+  double second_moment = 0.0;
+
+  /// N balancers each sending to this server with probability p.
+  [[nodiscard]] static ArrivalMoments from_binomial(std::size_t n, double p);
+  [[nodiscard]] static ArrivalMoments from_poisson(double lambda);
+};
+
+/// Exact stationary mean queue length (measured after service) of the
+/// unit-service discrete-time queue; requires mean < 1.
+[[nodiscard]] double unit_service_mean_queue(const ArrivalMoments& a);
+
+/// Stationary mean waiting time via Little's law (W = Q / lambda).
+[[nodiscard]] double unit_service_mean_wait(const ArrivalMoments& a);
+
+struct StabilityBounds {
+  /// Load N/M below which the system is certainly stable (C capacity 1).
+  double lower = 0.0;
+  /// Load N/M above which the system is certainly unstable (C capacity 2).
+  double upper = 0.0;
+};
+
+/// Stability bounds for the paper's C-priority policy under random
+/// assignment with P(type C) = p_colocate.
+[[nodiscard]] StabilityBounds paper_policy_stability_bounds(double p_colocate);
+
+}  // namespace ftl::lb

@@ -1,0 +1,77 @@
+#include "lb/server.hpp"
+
+#include "util/assert.hpp"
+
+namespace ftl::lb {
+
+const char* to_string(ServicePolicy p) {
+  switch (p) {
+    case ServicePolicy::kPaperCFirst:
+      return "paper-c-first";
+    case ServicePolicy::kFifoPair:
+      return "fifo-pair";
+    case ServicePolicy::kEFirst:
+      return "e-first";
+  }
+  return "?";
+}
+
+std::size_t Server::queued_of(TaskType t) const {
+  std::size_t n = 0;
+  for (const Request& r : queue_) {
+    if (r.type == t) ++n;
+  }
+  return n;
+}
+
+bool Server::take_first_of(TaskType t, Request& out) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->type == t) {
+      out = *it;
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Request> Server::step(ServicePolicy policy) {
+  std::vector<Request> served;
+  if (queue_.empty()) return served;
+  Request r;
+  switch (policy) {
+    case ServicePolicy::kPaperCFirst: {
+      // Up to two C requests run together; E runs alone and only when no C
+      // is waiting.
+      if (take_first_of(TaskType::kC, r)) {
+        served.push_back(r);
+        if (take_first_of(TaskType::kC, r)) served.push_back(r);
+      } else if (take_first_of(TaskType::kE, r)) {
+        served.push_back(r);
+      }
+      break;
+    }
+    case ServicePolicy::kFifoPair: {
+      r = queue_.front();
+      queue_.pop_front();
+      served.push_back(r);
+      if (r.type == TaskType::kC) {
+        Request mate;
+        if (take_first_of(TaskType::kC, mate)) served.push_back(mate);
+      }
+      break;
+    }
+    case ServicePolicy::kEFirst: {
+      if (take_first_of(TaskType::kE, r)) {
+        served.push_back(r);
+      } else if (take_first_of(TaskType::kC, r)) {
+        served.push_back(r);
+        if (take_first_of(TaskType::kC, r)) served.push_back(r);
+      }
+      break;
+    }
+  }
+  return served;
+}
+
+}  // namespace ftl::lb

@@ -1,0 +1,30 @@
+// A backend server with a FIFO queue and the paper's batched-C service.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "lb/types.hpp"
+
+namespace ftl::lb {
+
+class Server {
+ public:
+  void enqueue(const Request& r) { queue_.push_back(r); }
+
+  /// Runs one timestep of service under `policy`; served requests are
+  /// returned (in service order) for delay accounting.
+  std::vector<Request> step(ServicePolicy policy);
+
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queued_of(TaskType t) const;
+  [[nodiscard]] const std::deque<Request>& queue() const { return queue_; }
+
+ private:
+  /// Removes and returns the first queued request of type `t`, if any.
+  bool take_first_of(TaskType t, Request& out);
+
+  std::deque<Request> queue_;
+};
+
+}  // namespace ftl::lb

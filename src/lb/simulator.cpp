@@ -1,0 +1,114 @@
+#include "lb/simulator.hpp"
+
+#include <vector>
+
+#include "lb/server.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace ftl::lb {
+
+LbResult run_lb_sim(const LbConfig& cfg, LbStrategy& strategy) {
+  FTL_ASSERT(cfg.num_balancers >= 1 && cfg.num_servers >= 2);
+  FTL_ASSERT(cfg.p_colocate >= 0.0 && cfg.p_colocate <= 1.0);
+  FTL_ASSERT(cfg.batch_size >= 1);
+  FTL_ASSERT(cfg.warmup_steps >= 0 && cfg.measure_steps > 0);
+
+  util::Rng rng(cfg.seed);
+  util::Rng arrivals_rng = rng.split(1);
+  util::Rng strategy_rng = rng.split(2);
+  util::Rng burst_rng = rng.split(3);
+
+  std::vector<Server> servers(cfg.num_servers);
+  std::vector<std::vector<TaskType>> types(
+      cfg.num_balancers, std::vector<TaskType>(cfg.batch_size));
+  bool burst_high = true;
+  std::vector<std::vector<std::size_t>> targets;
+  std::vector<std::size_t> queue_snapshot(cfg.num_servers, 0);
+
+  util::Accumulator queue_len_acc;
+  util::Accumulator delay_acc;
+  util::Accumulator delay_c_acc;
+  util::Accumulator delay_e_acc;
+  std::vector<double> delays;
+  long long arrived = 0;
+  long long served = 0;
+
+  const long total_steps = cfg.warmup_steps + cfg.measure_steps;
+  for (long step = 0; step < total_steps; ++step) {
+    const bool measuring = step >= cfg.warmup_steps;
+
+    // 1. Arrivals: each balancer draws its batch of request types. Under
+    // the burst model a balancer may be inactive this step (empty batch).
+    double activity = 1.0;
+    if (cfg.burst) {
+      if (burst_rng.bernoulli(1.0 / cfg.burst->mean_dwell_steps)) {
+        burst_high = !burst_high;
+      }
+      activity = burst_high ? cfg.burst->high_activity
+                            : cfg.burst->low_activity;
+    }
+    for (auto& batch : types) {
+      const bool active = activity >= 1.0 || arrivals_rng.bernoulli(activity);
+      batch.resize(active ? cfg.batch_size : 0);
+      for (auto& t : batch) {
+        t = arrivals_rng.bernoulli(cfg.p_colocate) ? TaskType::kC
+                                                   : TaskType::kE;
+      }
+    }
+
+    // 2. Routing decisions (made simultaneously and without communication;
+    //    the strategy object enforces its own information discipline).
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      queue_snapshot[s] = servers[s].queue_length();
+    }
+    ClusterView view{cfg.num_servers, &queue_snapshot};
+    strategy.assign(types, targets, view, strategy_rng);
+
+    for (std::size_t b = 0; b < cfg.num_balancers; ++b) {
+      for (std::size_t k = 0; k < types[b].size(); ++k) {
+        FTL_ASSERT(targets[b][k] < cfg.num_servers);
+        servers[targets[b][k]].enqueue(Request{types[b][k], b, step});
+        if (measuring) ++arrived;
+      }
+    }
+
+    // 3. Service.
+    for (Server& server : servers) {
+      for (const Request& r : server.step(cfg.policy)) {
+        if (r.arrival_step >= cfg.warmup_steps && measuring) {
+          ++served;
+          const double d = static_cast<double>(step - r.arrival_step);
+          delay_acc.add(d);
+          delays.push_back(d);
+          (r.type == TaskType::kC ? delay_c_acc : delay_e_acc).add(d);
+        }
+      }
+      if (measuring) {
+        queue_len_acc.add(static_cast<double>(server.queue_length()));
+      }
+    }
+  }
+
+  LbResult out;
+  out.mean_queue_length = queue_len_acc.mean();
+  out.mean_delay = delay_acc.mean();
+  out.p95_delay = delays.empty() ? 0.0 : util::percentile(delays, 0.95);
+  out.mean_delay_c = delay_c_acc.mean();
+  out.mean_delay_e = delay_e_acc.mean();
+  out.throughput = static_cast<double>(served) /
+                   (static_cast<double>(cfg.measure_steps) *
+                    static_cast<double>(cfg.num_servers));
+  out.arrived = arrived;
+  out.served = served;
+  long long queued = 0;
+  for (const Server& s : servers) {
+    for (const Request& r : s.queue()) {
+      if (r.arrival_step >= cfg.warmup_steps) ++queued;
+    }
+  }
+  out.still_queued = queued;
+  return out;
+}
+
+}  // namespace ftl::lb

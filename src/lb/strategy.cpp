@@ -1,0 +1,149 @@
+#include "lb/strategy.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ftl::lb {
+
+namespace {
+
+void size_output(const std::vector<std::vector<TaskType>>& types,
+                 std::vector<std::vector<std::size_t>>& out) {
+  out.resize(types.size());
+  for (std::size_t b = 0; b < types.size(); ++b) out[b].resize(types[b].size());
+}
+
+}  // namespace
+
+void RandomStrategy::assign(const std::vector<std::vector<TaskType>>& types,
+                            std::vector<std::vector<std::size_t>>& out,
+                            const ClusterView& view, util::Rng& rng) {
+  size_output(types, out);
+  for (std::size_t b = 0; b < types.size(); ++b) {
+    for (std::size_t k = 0; k < types[b].size(); ++k) {
+      out[b][k] = rng.uniform_int(view.num_servers);
+    }
+  }
+}
+
+void RoundRobinStrategy::assign(
+    const std::vector<std::vector<TaskType>>& types,
+    std::vector<std::vector<std::size_t>>& out, const ClusterView& view,
+    util::Rng& rng) {
+  size_output(types, out);
+  if (next_.size() != types.size()) {
+    next_.resize(types.size());
+    for (auto& n : next_) n = rng.uniform_int(view.num_servers);
+  }
+  for (std::size_t b = 0; b < types.size(); ++b) {
+    for (std::size_t k = 0; k < types[b].size(); ++k) {
+      out[b][k] = next_[b];
+      next_[b] = (next_[b] + 1) % view.num_servers;
+    }
+  }
+}
+
+void PowerOfTwoStrategy::assign(
+    const std::vector<std::vector<TaskType>>& types,
+    std::vector<std::vector<std::size_t>>& out, const ClusterView& view,
+    util::Rng& rng) {
+  size_output(types, out);
+  FTL_ASSERT_MSG(view.queue_lengths != nullptr,
+                 "power-of-two needs queue visibility");
+  const auto& q = *view.queue_lengths;
+  for (std::size_t b = 0; b < types.size(); ++b) {
+    for (std::size_t k = 0; k < types[b].size(); ++k) {
+      const auto [s1, s2] = rng.distinct_pair(view.num_servers);
+      out[b][k] = q[s1] <= q[s2] ? s1 : s2;
+    }
+  }
+}
+
+PairedStrategy::PairedStrategy(
+    std::unique_ptr<correlate::PairedDecisionSource> src)
+    : source_(std::move(src)) {
+  FTL_ASSERT(source_ != nullptr);
+}
+
+std::string PairedStrategy::name() const {
+  return "paired(" + source_->name() + ")";
+}
+
+void PairedStrategy::assign(const std::vector<std::vector<TaskType>>& types,
+                            std::vector<std::vector<std::size_t>>& out,
+                            const ClusterView& view, util::Rng& rng) {
+  size_output(types, out);
+  FTL_ASSERT_MSG(types.size() % 2 == 0,
+                 "paired strategy needs an even number of balancers");
+  FTL_ASSERT(view.num_servers >= 2);
+  for (std::size_t p = 0; p + 1 < types.size(); p += 2) {
+    FTL_ASSERT_MSG(types[p].size() <= 1 && types[p + 1].size() <= 1,
+                   "paired strategy is defined for batch size 1");
+    const bool left = !types[p].empty();
+    const bool right = !types[p + 1].empty();
+    if (!left && !right) continue;  // neither balancer active (burst lull)
+    // Shared randomness: both balancers of the pair pre-agree (e.g. via a
+    // shared PRG seed) on this round's two candidate servers.
+    const auto [s0, s1] = rng.distinct_pair(view.num_servers);
+    if (left && right) {
+      const int x = types[p][0] == TaskType::kC ? 1 : 0;
+      const int y = types[p + 1][0] == TaskType::kC ? 1 : 0;
+      const auto [a, b] = source_->decide(x, y, rng);
+      out[p][0] = a == 0 ? s0 : s1;
+      out[p + 1][0] = b == 0 ? s0 : s1;
+    } else {
+      // A lone active balancer sees only its own side of the correlation —
+      // a uniform marginal — so it picks a candidate with a fair coin.
+      const std::size_t idx = left ? p : p + 1;
+      out[idx][0] = rng.bernoulli(0.5) ? s1 : s0;
+    }
+  }
+}
+
+DedicatedServersStrategy::DedicatedServersStrategy(double c_fraction)
+    : c_fraction_(c_fraction) {
+  FTL_ASSERT(c_fraction > 0.0 && c_fraction < 1.0);
+}
+
+std::string DedicatedServersStrategy::name() const {
+  return "dedicated(f=" + std::to_string(c_fraction_) + ")";
+}
+
+void DedicatedServersStrategy::assign(
+    const std::vector<std::vector<TaskType>>& types,
+    std::vector<std::vector<std::size_t>>& out, const ClusterView& view,
+    util::Rng& rng) {
+  size_output(types, out);
+  // Servers [0, n_c) take C tasks, [n_c, M) take E tasks.
+  const auto n_c = std::max<std::size_t>(
+      1, static_cast<std::size_t>(c_fraction_ *
+                                  static_cast<double>(view.num_servers)));
+  FTL_ASSERT(n_c < view.num_servers);
+  for (std::size_t b = 0; b < types.size(); ++b) {
+    for (std::size_t k = 0; k < types[b].size(); ++k) {
+      if (types[b][k] == TaskType::kC) {
+        out[b][k] = rng.uniform_int(n_c);
+      } else {
+        out[b][k] = n_c + rng.uniform_int(view.num_servers - n_c);
+      }
+    }
+  }
+}
+
+void LocalBatchingStrategy::assign(
+    const std::vector<std::vector<TaskType>>& types,
+    std::vector<std::vector<std::size_t>>& out, const ClusterView& view,
+    util::Rng& rng) {
+  size_output(types, out);
+  for (std::size_t b = 0; b < types.size(); ++b) {
+    const std::size_t c_target = rng.uniform_int(view.num_servers);
+    for (std::size_t k = 0; k < types[b].size(); ++k) {
+      out[b][k] = types[b][k] == TaskType::kC
+                      ? c_target
+                      : rng.uniform_int(view.num_servers);
+    }
+  }
+}
+
+}  // namespace ftl::lb

@@ -1,0 +1,116 @@
+// Load-balancer assignment strategies (§4.1).
+//
+// Each timestep every balancer gets a batch of requests (batch size 1 in
+// the paper's simulation) and must pick a server for each. Honest
+// distributed strategies use only the balancer's local inputs plus
+// pre-shared randomness or entanglement — never another balancer's input.
+// The ClusterView argument exposes global queue state for the informed
+// baselines (power-of-two choices); honest strategies ignore it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "correlate/decision_source.hpp"
+#include "lb/types.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::lb {
+
+struct ClusterView {
+  std::size_t num_servers = 0;
+  /// Queue length per server at the start of the step (stale by the time
+  /// requests land — as in any real system).
+  const std::vector<std::size_t>* queue_lengths = nullptr;
+};
+
+class LbStrategy {
+ public:
+  virtual ~LbStrategy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// `types[b][k]` is balancer b's k-th request this step; fills
+  /// `out[b][k]` with the chosen server index.
+  virtual void assign(const std::vector<std::vector<TaskType>>& types,
+                      std::vector<std::vector<std::size_t>>& out,
+                      const ClusterView& view, util::Rng& rng) = 0;
+};
+
+/// Uniformly random server per request (the paper's classical baseline).
+class RandomStrategy final : public LbStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "random"; }
+  void assign(const std::vector<std::vector<TaskType>>& types,
+              std::vector<std::vector<std::size_t>>& out,
+              const ClusterView& view, util::Rng& rng) override;
+};
+
+/// Independent per-balancer round robin from a random offset.
+class RoundRobinStrategy final : public LbStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+  void assign(const std::vector<std::vector<TaskType>>& types,
+              std::vector<std::vector<std::size_t>>& out,
+              const ClusterView& view, util::Rng& rng) override;
+
+ private:
+  std::vector<std::size_t> next_;
+};
+
+/// Power of two choices [44]: probe two random servers, pick the shorter
+/// queue. Uses the (start-of-step) global queue info in ClusterView.
+class PowerOfTwoStrategy final : public LbStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "po2"; }
+  void assign(const std::vector<std::vector<TaskType>>& types,
+              std::vector<std::vector<std::size_t>>& out,
+              const ClusterView& view, util::Rng& rng) override;
+};
+
+/// The paper's quantum scheme (and its classical/omniscient ablations):
+/// balancers are paired; each pair draws two distinct candidate servers per
+/// step from shared randomness and plays the flipped CHSH game through a
+/// correlate::PairedDecisionSource — both type-C => same server, otherwise
+/// different servers (with the source's win probability).
+/// Requires an even number of balancers and batch size 1.
+class PairedStrategy final : public LbStrategy {
+ public:
+  explicit PairedStrategy(std::unique_ptr<correlate::PairedDecisionSource> src);
+
+  [[nodiscard]] std::string name() const override;
+  void assign(const std::vector<std::vector<TaskType>>& types,
+              std::vector<std::vector<std::size_t>>& out,
+              const ClusterView& view, util::Rng& rng) override;
+
+ private:
+  std::unique_ptr<correlate::PairedDecisionSource> source_;
+};
+
+/// §4.1 caveat baseline: a fixed fraction of servers is dedicated to C
+/// tasks; C goes to a random dedicated server, E to a random other server.
+class DedicatedServersStrategy final : public LbStrategy {
+ public:
+  explicit DedicatedServersStrategy(double c_fraction);
+
+  [[nodiscard]] std::string name() const override;
+  void assign(const std::vector<std::vector<TaskType>>& types,
+              std::vector<std::vector<std::size_t>>& out,
+              const ClusterView& view, util::Rng& rng) override;
+
+ private:
+  double c_fraction_;
+};
+
+/// §4.1 caveat baseline for multi-request batches: each balancer sends all
+/// of this step's C tasks to one random server and scatters E tasks.
+class LocalBatchingStrategy final : public LbStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "local-batching"; }
+  void assign(const std::vector<std::vector<TaskType>>& types,
+              std::vector<std::vector<std::size_t>>& out,
+              const ClusterView& view, util::Rng& rng) override;
+};
+
+}  // namespace ftl::lb

@@ -1,0 +1,37 @@
+// Shared types of the cluster load-balancing simulation (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ftl::lb {
+
+/// The paper's two task classes: type-C tasks benefit from co-location
+/// (shared caches, GPU parallelism), type-E tasks want exclusive access.
+enum class TaskType : std::uint8_t { kC = 0, kE = 1 };
+
+struct Request {
+  TaskType type = TaskType::kC;
+  /// Which load balancer emitted it.
+  std::size_t balancer = 0;
+  /// Simulation step at which it arrived (for delay accounting).
+  long arrival_step = 0;
+};
+
+/// How a server spends one timestep of capacity. The paper's text: servers
+/// "can simultaneously process two type-C requests first, followed by
+/// type-E requests, which are executed one at a time"; footnote 2 claims
+/// robustness to other policies, which kFifoPair and kEFirst probe.
+enum class ServicePolicy : std::uint8_t {
+  /// C-priority: serve up to two C requests if any C is queued, else one E.
+  kPaperCFirst = 0,
+  /// FIFO head-of-line: if the head is C it may pair with the next queued C
+  /// (served together); if the head is E it is served alone.
+  kFifoPair = 1,
+  /// E-priority: serve one E if any is queued, else up to two Cs.
+  kEFirst = 2,
+};
+
+[[nodiscard]] const char* to_string(ServicePolicy p);
+
+}  // namespace ftl::lb

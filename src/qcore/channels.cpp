@@ -1,0 +1,74 @@
+#include "qcore/channels.hpp"
+
+#include <cmath>
+
+#include "qcore/gates.hpp"
+
+namespace ftl::qcore {
+
+bool Channel::is_trace_preserving(double tol) const {
+  if (kraus.empty()) return false;
+  CMat sum(kraus.front().cols(), kraus.front().cols());
+  for (const CMat& k : kraus) sum += k.adjoint() * k;
+  return sum.approx_equal(CMat::identity(sum.rows()), tol);
+}
+
+Channel depolarizing(double p) {
+  FTL_ASSERT(p >= 0.0 && p <= 1.0);
+  Channel ch;
+  ch.kraus.push_back(gates::I() * Cx{std::sqrt(1.0 - 3.0 * p / 4.0), 0.0});
+  ch.kraus.push_back(gates::X() * Cx{std::sqrt(p / 4.0), 0.0});
+  ch.kraus.push_back(gates::Y() * Cx{std::sqrt(p / 4.0), 0.0});
+  ch.kraus.push_back(gates::Z() * Cx{std::sqrt(p / 4.0), 0.0});
+  return ch;
+}
+
+Channel dephasing(double lambda) {
+  FTL_ASSERT(lambda >= 0.0 && lambda <= 1.0);
+  Channel ch;
+  CMat k0{{Cx{1.0, 0.0}, Cx{0.0, 0.0}},
+          {Cx{0.0, 0.0}, Cx{std::sqrt(1.0 - lambda), 0.0}}};
+  CMat k1{{Cx{0.0, 0.0}, Cx{0.0, 0.0}},
+          {Cx{0.0, 0.0}, Cx{std::sqrt(lambda), 0.0}}};
+  ch.kraus = {k0, k1};
+  return ch;
+}
+
+Channel amplitude_damping(double gamma) {
+  FTL_ASSERT(gamma >= 0.0 && gamma <= 1.0);
+  Channel ch;
+  CMat k0{{Cx{1.0, 0.0}, Cx{0.0, 0.0}},
+          {Cx{0.0, 0.0}, Cx{std::sqrt(1.0 - gamma), 0.0}}};
+  CMat k1{{Cx{0.0, 0.0}, Cx{std::sqrt(gamma), 0.0}},
+          {Cx{0.0, 0.0}, Cx{0.0, 0.0}}};
+  ch.kraus = {k0, k1};
+  return ch;
+}
+
+Channel bit_flip(double p) {
+  FTL_ASSERT(p >= 0.0 && p <= 1.0);
+  Channel ch;
+  ch.kraus.push_back(gates::I() * Cx{std::sqrt(1.0 - p), 0.0});
+  ch.kraus.push_back(gates::X() * Cx{std::sqrt(p), 0.0});
+  return ch;
+}
+
+Channel identity_channel() {
+  Channel ch;
+  ch.kraus.push_back(gates::I());
+  return ch;
+}
+
+std::vector<Channel> storage_decoherence(double t, double t1, double t2) {
+  FTL_ASSERT(t >= 0.0 && t1 > 0.0 && t2 > 0.0);
+  FTL_ASSERT_MSG(t2 <= 2.0 * t1 + 1e-12,
+                 "physical memories satisfy T2 <= 2*T1");
+  const double gamma = 1.0 - std::exp(-t / t1);
+  // Amplitude damping alone decays coherences by e^{-t/(2 T1)}; add pure
+  // dephasing so the total coherence decay is e^{-t/T2}.
+  const double extra = std::exp(2.0 * (t / (2.0 * t1) - t / t2));
+  const double lambda = 1.0 - std::min(1.0, extra);
+  return {amplitude_damping(gamma), dephasing(lambda)};
+}
+
+}  // namespace ftl::qcore

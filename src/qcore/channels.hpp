@@ -1,0 +1,46 @@
+// Single-qubit noise channels in Kraus form.
+//
+// These model the imperfections the paper's §3 insists system designs must
+// account for: imperfect SPDC pair fidelity, fiber transmission noise, and
+// decoherence while a qubit sits in QNIC memory waiting for its input.
+#pragma once
+
+#include <vector>
+
+#include "qcore/matrix.hpp"
+
+namespace ftl::qcore {
+
+/// A CPTP map given by Kraus operators: rho -> sum_k K rho K^dagger.
+struct Channel {
+  std::vector<CMat> kraus;
+
+  /// Checks the completeness relation sum_k K^dagger K = I.
+  [[nodiscard]] bool is_trace_preserving(double tol = 1e-8) const;
+};
+
+/// Depolarizing channel: with probability p the qubit is replaced by the
+/// maximally mixed state (uniform Pauli errors with weight p/4 each).
+[[nodiscard]] Channel depolarizing(double p);
+
+/// Phase damping: off-diagonal coherences scale by sqrt(1 - lambda).
+[[nodiscard]] Channel dephasing(double lambda);
+
+/// Amplitude damping with decay probability gamma (|1> relaxes to |0>).
+[[nodiscard]] Channel amplitude_damping(double gamma);
+
+/// Bit flip with probability p.
+[[nodiscard]] Channel bit_flip(double p);
+
+/// The identity channel.
+[[nodiscard]] Channel identity_channel();
+
+/// Decoherence accumulated while storing a qubit for `t` seconds in a memory
+/// with relaxation time T1 and coherence time T2 (requires T2 <= 2*T1):
+/// amplitude damping with gamma = 1 - e^{-t/T1} composed with enough extra
+/// dephasing that coherences decay as e^{-t/T2}. Returned as the channels to
+/// apply in order.
+[[nodiscard]] std::vector<Channel> storage_decoherence(double t, double t1,
+                                                       double t2);
+
+}  // namespace ftl::qcore

@@ -1,0 +1,25 @@
+// Scalar type and numeric helpers shared by the quantum substrate.
+#pragma once
+
+#include <cmath>
+#include <complex>
+
+namespace ftl::qcore {
+
+using Cx = std::complex<double>;
+
+inline constexpr double kEps = 1e-9;
+
+/// |a - b| <= tol, for complex scalars.
+[[nodiscard]] inline bool approx_eq(Cx a, Cx b, double tol = kEps) {
+  return std::abs(a - b) <= tol;
+}
+
+[[nodiscard]] inline bool approx_eq(double a, double b, double tol = kEps) {
+  return std::abs(a - b) <= tol;
+}
+
+/// Squared magnitude, |z|^2, without the sqrt of std::abs.
+[[nodiscard]] inline double norm2(Cx z) { return std::norm(z); }
+
+}  // namespace ftl::qcore

@@ -1,0 +1,228 @@
+#include "qcore/density.hpp"
+
+#include <cmath>
+
+#include "qcore/eigen.hpp"
+
+namespace ftl::qcore {
+
+Density::Density(std::size_t num_qubits, CMat rho)
+    : num_qubits_(num_qubits), rho_(std::move(rho)) {}
+
+Density Density::maximally_mixed(std::size_t num_qubits) {
+  const std::size_t d = std::size_t{1} << num_qubits;
+  CMat rho = CMat::identity(d);
+  rho *= Cx{1.0 / static_cast<double>(d), 0.0};
+  return Density(num_qubits, std::move(rho));
+}
+
+Density Density::from_state(const StateVec& psi) {
+  return Density(psi.num_qubits(), psi.to_density());
+}
+
+Density Density::werner(double visibility) {
+  FTL_ASSERT(visibility >= 0.0 && visibility <= 1.0);
+  const CMat bell = StateVec::bell_phi_plus().to_density();
+  CMat mixed = CMat::identity(4);
+  mixed *= Cx{0.25, 0.0};
+  CMat rho = bell * Cx{visibility, 0.0} + mixed * Cx{1.0 - visibility, 0.0};
+  return Density(2, std::move(rho));
+}
+
+Density Density::from_matrix(CMat rho) {
+  FTL_ASSERT(rho.is_square());
+  std::size_t n = 0;
+  while ((std::size_t{1} << n) < rho.rows()) ++n;
+  FTL_ASSERT_MSG((std::size_t{1} << n) == rho.rows(),
+                 "density matrix dimension must be a power of two");
+  FTL_ASSERT_MSG(rho.is_hermitian(1e-7), "density matrix must be Hermitian");
+  FTL_ASSERT_MSG(std::abs(rho.trace().real() - 1.0) < 1e-7,
+                 "density matrix must have unit trace");
+  return Density(n, std::move(rho));
+}
+
+double Density::purity() const { return (rho_ * rho_).trace().real(); }
+
+double Density::fidelity_with(const StateVec& psi) const {
+  FTL_ASSERT(psi.dim() == dim());
+  const std::vector<Cx> v = rho_.apply(psi.amplitudes());
+  return inner(psi.amplitudes(), v).real();
+}
+
+bool Density::is_valid(double tol) const {
+  return rho_.is_hermitian(tol) &&
+         std::abs(rho_.trace().real() - 1.0) < tol && is_psd(rho_, tol);
+}
+
+CMat Density::embed1(const CMat& u, std::size_t qubit) const {
+  FTL_ASSERT(u.rows() == 2 && u.cols() == 2);
+  FTL_ASSERT(qubit < num_qubits_);
+  CMat full = CMat::identity(1);
+  for (std::size_t q = 0; q < num_qubits_; ++q) {
+    full = full.kron(q == qubit ? u : CMat::identity(2));
+  }
+  return full;
+}
+
+void Density::apply1(const CMat& u, std::size_t qubit) {
+  const CMat full = embed1(u, qubit);
+  rho_ = full * rho_ * full.adjoint();
+}
+
+void Density::apply2(const CMat& u, std::size_t qa, std::size_t qb) {
+  FTL_ASSERT(u.rows() == 4 && u.cols() == 4);
+  FTL_ASSERT(qa < num_qubits_ && qb < num_qubits_ && qa != qb);
+  // Embed the 4x4 gate: U_full[r, c] = u[sub(r), sub(c)] when r and c agree
+  // on every other qubit, where sub() extracts the (qa, qb) bit pair.
+  const std::size_t d = dim();
+  const std::size_t pa = num_qubits_ - 1 - qa;
+  const std::size_t pb = num_qubits_ - 1 - qb;
+  auto sub = [&](std::size_t i) {
+    return (((i >> pa) & 1) << 1) | ((i >> pb) & 1);
+  };
+  const std::size_t rest_mask =
+      (d - 1) & ~((std::size_t{1} << pa) | (std::size_t{1} << pb));
+  CMat full(d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      if ((r & rest_mask) == (c & rest_mask)) {
+        full.at(r, c) = u.at(sub(r), sub(c));
+      }
+    }
+  }
+  rho_ = full * rho_ * full.adjoint();
+}
+
+Density Density::tensor(const Density& other) const {
+  return Density(num_qubits_ + other.num_qubits_, rho_.kron(other.rho_));
+}
+
+void Density::apply_unitary(const CMat& u) {
+  FTL_ASSERT(u.rows() == dim() && u.cols() == dim());
+  rho_ = u * rho_ * u.adjoint();
+}
+
+void Density::apply_channel(const Channel& ch, std::size_t qubit) {
+  FTL_ASSERT_MSG(ch.is_trace_preserving(1e-7),
+                 "channel must be trace preserving");
+  CMat out(dim(), dim());
+  for (const CMat& k : ch.kraus) {
+    const CMat full = embed1(k, qubit);
+    out += full * rho_ * full.adjoint();
+  }
+  rho_ = std::move(out);
+}
+
+double Density::outcome_probability(std::size_t qubit, const CMat& basis,
+                                    int outcome) const {
+  FTL_ASSERT(outcome == 0 || outcome == 1);
+  FTL_ASSERT_MSG(basis.is_unitary(1e-8), "basis must be unitary");
+  // Projector |phi_o><phi_o| where |phi_o> is column `outcome` of `basis`.
+  const std::vector<Cx> col = {basis.at(0, outcome), basis.at(1, outcome)};
+  const CMat proj = CMat::outer(col, col);
+  const CMat full = embed1(proj, qubit);
+  return (full * rho_).trace().real();
+}
+
+int Density::measure(std::size_t qubit, const CMat& basis, util::Rng& rng) {
+  const double p1 = outcome_probability(qubit, basis, 1);
+  const int outcome = rng.uniform() < p1 ? 1 : 0;
+  auto [collapsed, prob] = collapse(qubit, basis, outcome);
+  (void)prob;
+  rho_ = collapsed.rho_;
+  return outcome;
+}
+
+double Density::observable_plus_probability(const CMat& observable) const {
+  FTL_ASSERT(observable.rows() == dim() && observable.cols() == dim());
+  FTL_ASSERT_MSG(observable.is_hermitian(1e-8), "observable must be Hermitian");
+  FTL_ASSERT_MSG((observable * observable)
+                     .approx_equal(CMat::identity(dim()), 1e-8),
+                 "observable must square to the identity (+-1 outcomes)");
+  // P(+1) = Tr[(I + O)/2 rho].
+  const CMat proj_plus =
+      (CMat::identity(dim()) + observable) * Cx{0.5, 0.0};
+  return (proj_plus * rho_).trace().real();
+}
+
+int Density::measure_observable(const CMat& observable, util::Rng& rng) {
+  const double p_plus = observable_plus_probability(observable);
+  const int outcome = rng.uniform() < p_plus ? +1 : -1;
+  const double sign = outcome > 0 ? 1.0 : -1.0;
+  CMat proj = (CMat::identity(dim()) + observable * Cx{sign, 0.0}) *
+              Cx{0.5, 0.0};
+  CMat post = proj * rho_ * proj.adjoint();
+  const double p = post.trace().real();
+  FTL_ASSERT_MSG(p > 1e-300, "measured an outcome of probability ~0");
+  post *= Cx{1.0 / p, 0.0};
+  rho_ = std::move(post);
+  return outcome;
+}
+
+std::pair<Density, double> Density::collapse(std::size_t qubit,
+                                             const CMat& basis,
+                                             int outcome) const {
+  const std::vector<Cx> col = {basis.at(0, outcome), basis.at(1, outcome)};
+  const CMat proj = CMat::outer(col, col);
+  const CMat full = embed1(proj, qubit);
+  CMat post = full * rho_ * full.adjoint();
+  const double p = post.trace().real();
+  FTL_ASSERT_MSG(p > 1e-300, "collapsing onto a zero-probability outcome");
+  post *= Cx{1.0 / p, 0.0};
+  return {Density(num_qubits_, std::move(post)), p};
+}
+
+Density Density::partial_trace(std::vector<std::size_t> traced_out) const {
+  // Build masks: surviving qubits keep their relative order.
+  std::vector<bool> traced(num_qubits_, false);
+  for (std::size_t q : traced_out) {
+    FTL_ASSERT(q < num_qubits_);
+    FTL_ASSERT_MSG(!traced[q], "qubit listed twice in partial_trace");
+    traced[q] = true;
+  }
+  std::vector<std::size_t> kept;
+  for (std::size_t q = 0; q < num_qubits_; ++q) {
+    if (!traced[q]) kept.push_back(q);
+  }
+  FTL_ASSERT_MSG(!kept.empty(), "cannot trace out every qubit");
+
+  const std::size_t nk = kept.size();
+  const std::size_t nt = num_qubits_ - nk;
+  const std::size_t dk = std::size_t{1} << nk;
+  const std::size_t dt = std::size_t{1} << nt;
+
+  // Maps a (kept-index, traced-index) pair to a full basis index. Bit for
+  // qubit q sits at position (num_qubits_ - 1 - q).
+  auto full_index = [&](std::size_t k_bits, std::size_t t_bits) {
+    std::size_t idx = 0;
+    std::size_t ki = 0;
+    std::size_t ti = 0;
+    for (std::size_t q = 0; q < num_qubits_; ++q) {
+      const std::size_t bitpos = num_qubits_ - 1 - q;
+      if (!traced[q]) {
+        const std::size_t bit = (k_bits >> (nk - 1 - ki)) & 1;
+        idx |= bit << bitpos;
+        ++ki;
+      } else {
+        const std::size_t bit = (t_bits >> (nt - 1 - ti)) & 1;
+        idx |= bit << bitpos;
+        ++ti;
+      }
+    }
+    return idx;
+  };
+
+  CMat out(dk, dk);
+  for (std::size_t r = 0; r < dk; ++r) {
+    for (std::size_t c = 0; c < dk; ++c) {
+      Cx acc{0.0, 0.0};
+      for (std::size_t t = 0; t < dt; ++t) {
+        acc += rho_.at(full_index(r, t), full_index(c, t));
+      }
+      out.at(r, c) = acc;
+    }
+  }
+  return Density(nk, std::move(out));
+}
+
+}  // namespace ftl::qcore

@@ -1,0 +1,101 @@
+// Density-matrix simulator: mixed states, noise channels, and the partial
+// measurements the ECMP no-signaling argument (§4.2) relies on.
+#pragma once
+
+#include <vector>
+
+#include "qcore/channels.hpp"
+#include "qcore/matrix.hpp"
+#include "qcore/state.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::qcore {
+
+class Density {
+ public:
+  /// Maximally mixed state I / 2^n.
+  [[nodiscard]] static Density maximally_mixed(std::size_t num_qubits);
+
+  /// |psi><psi| for a pure state.
+  [[nodiscard]] static Density from_state(const StateVec& psi);
+
+  /// Two-qubit Werner state: v |Phi+><Phi+| + (1 - v) I/4, with visibility
+  /// v in [0, 1]. Models an SPDC pair transmitted through white noise; the
+  /// Bell-pair fidelity is F = (1 + 3v) / 4.
+  [[nodiscard]] static Density werner(double visibility);
+
+  /// Wraps an explicit density matrix (validated: Hermitian, unit trace).
+  [[nodiscard]] static Density from_matrix(CMat rho);
+
+  [[nodiscard]] std::size_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] std::size_t dim() const { return rho_.rows(); }
+  [[nodiscard]] const CMat& matrix() const { return rho_; }
+
+  /// Tr(rho^2); 1 iff pure.
+  [[nodiscard]] double purity() const;
+
+  /// <psi| rho |psi>: fidelity with a pure target state.
+  [[nodiscard]] double fidelity_with(const StateVec& psi) const;
+
+  /// Hermitian, unit trace, PSD (within tolerance).
+  [[nodiscard]] bool is_valid(double tol = 1e-7) const;
+
+  /// Applies a single-qubit unitary to `qubit`.
+  void apply1(const CMat& u, std::size_t qubit);
+
+  /// Applies a two-qubit unitary to the ordered pair (qa, qb); qa is the
+  /// high-order qubit of the 4x4 gate's local basis.
+  void apply2(const CMat& u, std::size_t qa, std::size_t qb);
+
+  /// Applies a full-dimension unitary.
+  void apply_unitary(const CMat& u);
+
+  /// Tensor product: this (x) other (other's qubits appended after ours).
+  [[nodiscard]] Density tensor(const Density& other) const;
+
+  /// Applies a single-qubit channel to `qubit`.
+  void apply_channel(const Channel& ch, std::size_t qubit);
+
+  /// Probability that measuring `qubit` in `basis` yields `outcome`.
+  [[nodiscard]] double outcome_probability(std::size_t qubit,
+                                           const CMat& basis,
+                                           int outcome) const;
+
+  /// Projective measurement; collapses and returns the outcome.
+  int measure(std::size_t qubit, const CMat& basis, util::Rng& rng);
+
+  /// Measures a +-1-valued observable O (full-dimension Hermitian with
+  /// O^2 = I, e.g. a Pauli product): collapses onto the corresponding
+  /// eigenspace via the projectors (I +- O)/2 and returns +1 or -1.
+  /// This is how a party measures several *commuting* observables in one
+  /// round (magic-square-style strategies).
+  int measure_observable(const CMat& observable, util::Rng& rng);
+
+  /// Probability that measure_observable would yield +1 (no collapse).
+  [[nodiscard]] double observable_plus_probability(
+      const CMat& observable) const;
+
+  /// Non-destructively computes the post-measurement state for a given
+  /// outcome (used for the §4.2 reduction where a far-away party "measures
+  /// first"). Returns the renormalised collapsed state and its probability.
+  [[nodiscard]] std::pair<Density, double> collapse(std::size_t qubit,
+                                                    const CMat& basis,
+                                                    int outcome) const;
+
+  /// Traces out the listed qubits, returning the state of the rest (qubit
+  /// indices of the result are the surviving qubits in their original
+  /// order).
+  [[nodiscard]] Density partial_trace(std::vector<std::size_t> traced_out) const;
+
+ private:
+  Density(std::size_t num_qubits, CMat rho);
+
+  /// Embeds a 2x2 (or 4x4) operator acting on the given qubits into the
+  /// full 2^n-dimensional space.
+  [[nodiscard]] CMat embed1(const CMat& u, std::size_t qubit) const;
+
+  std::size_t num_qubits_;
+  CMat rho_;
+};
+
+}  // namespace ftl::qcore

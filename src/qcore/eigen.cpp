@@ -1,0 +1,132 @@
+#include "qcore/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ftl::qcore {
+
+namespace {
+
+/// Sum of squared magnitudes of strictly-upper off-diagonal entries.
+double off_diag_norm2(const CMat& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) s += std::norm(a.at(i, j));
+  }
+  return s;
+}
+
+}  // namespace
+
+EigResult eigh(const CMat& a_in, double tol, int max_sweeps) {
+  FTL_ASSERT_MSG(a_in.is_hermitian(1e-8), "eigh requires a Hermitian matrix");
+  const std::size_t n = a_in.rows();
+  CMat a = a_in;
+  CMat v = CMat::identity(n);
+
+  // One complex Jacobi rotation zeroes a(p,q). The 2x2 Hermitian block
+  // [[alpha, beta], [conj(beta), gamma]] is first de-phased so the coupling
+  // is real, then rotated by the classic symmetric Jacobi angle.
+  const double frob = a.frobenius_norm();
+  const double stop = tol * std::max(frob, 1.0);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (std::sqrt(off_diag_norm2(a)) <= stop) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const Cx beta = a.at(p, q);
+        const double babs = std::abs(beta);
+        if (babs <= stop / static_cast<double>(n)) continue;
+        const double alpha = a.at(p, p).real();
+        const double gamma = a.at(q, q).real();
+        const Cx phase = beta / babs;  // e^{i phi}
+
+        // Real Jacobi angle for [[alpha, babs], [babs, gamma]]. Annihilating
+        // the coupling requires t = tan(angle) solving t^2 - 2*theta*t - 1
+        // = 0 with theta = (gamma - alpha) / (2*babs); the smaller-magnitude
+        // root is numerically stable.
+        double t;
+        const double theta = (gamma - alpha) / (2.0 * babs);
+        if (std::abs(theta) > 1e150) {
+          t = -1.0 / (2.0 * theta);
+        } else {
+          t = (theta >= 0.0 ? -1.0 : 1.0) /
+              (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        }
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Block unitary U = [[c, -s*phase], [s*conj(phase), c]] applied as
+        // A <- U^dagger A U on rows/cols p,q; V <- V U.
+        const Cx up = Cx{c, 0.0};
+        const Cx uq = -s * phase;
+        const Cx lp = s * std::conj(phase);
+        const Cx lq = Cx{c, 0.0};
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const Cx akp = a.at(k, p);
+          const Cx akq = a.at(k, q);
+          a.at(k, p) = akp * up + akq * lp;
+          a.at(k, q) = akp * uq + akq * lq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const Cx apk = a.at(p, k);
+          const Cx aqk = a.at(q, k);
+          a.at(p, k) = std::conj(up) * apk + std::conj(lp) * aqk;
+          a.at(q, k) = std::conj(uq) * apk + std::conj(lq) * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const Cx vkp = v.at(k, p);
+          const Cx vkq = v.at(k, q);
+          v.at(k, p) = vkp * up + vkq * lp;
+          v.at(k, q) = vkp * uq + vkq * lq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort ascending, permuting eigenvector columns to match.
+  std::vector<double> vals(n);
+  for (std::size_t i = 0; i < n; ++i) vals[i] = a.at(i, i).real();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return vals[x] < vals[y]; });
+
+  EigResult out;
+  out.values.resize(n);
+  out.vectors = CMat(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = vals[order[k]];
+    for (std::size_t r = 0; r < n; ++r) {
+      out.vectors.at(r, k) = v.at(r, order[k]);
+    }
+  }
+  return out;
+}
+
+bool is_psd(const CMat& a, double tol) {
+  const EigResult e = eigh(a);
+  return e.values.empty() || e.values.front() >= -tol;
+}
+
+CMat sqrt_psd(const CMat& a) {
+  const EigResult e = eigh(a);
+  const std::size_t n = a.rows();
+  CMat d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lam = std::max(e.values[i], 0.0);
+    d.at(i, i) = Cx{std::sqrt(lam), 0.0};
+  }
+  return e.vectors * d * e.vectors.adjoint();
+}
+
+double fidelity(const CMat& rho, const CMat& sigma) {
+  const CMat root = sqrt_psd(rho);
+  const CMat inner_mat = root * sigma * root;
+  const CMat s = sqrt_psd(inner_mat);
+  const double tr = s.trace().real();
+  return tr * tr;
+}
+
+}  // namespace ftl::qcore

@@ -1,0 +1,36 @@
+// Hermitian eigendecomposition by the complex Jacobi method.
+//
+// The matrices in this library are tiny (at most 2^5 x 2^5), so the Jacobi
+// method — quadratically convergent, unconditionally stable, and ~60 lines —
+// is the right tool; no LAPACK dependency needed.
+#pragma once
+
+#include <vector>
+
+#include "qcore/matrix.hpp"
+
+namespace ftl::qcore {
+
+struct EigResult {
+  /// Eigenvalues in ascending order (real: the input is Hermitian).
+  std::vector<double> values;
+  /// Unitary matrix whose k-th column is the eigenvector for values[k].
+  CMat vectors;
+};
+
+/// Full eigendecomposition of a Hermitian matrix. Asserts Hermiticity.
+[[nodiscard]] EigResult eigh(const CMat& a, double tol = 1e-12,
+                             int max_sweeps = 100);
+
+/// True iff Hermitian `a` has all eigenvalues >= -tol.
+[[nodiscard]] bool is_psd(const CMat& a, double tol = 1e-8);
+
+/// Principal square root of a PSD Hermitian matrix (negative eigenvalues
+/// within tolerance are clamped to zero).
+[[nodiscard]] CMat sqrt_psd(const CMat& a);
+
+/// Uhlmann fidelity F(rho, sigma) = (Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2.
+/// Both arguments must be density matrices (PSD, unit trace).
+[[nodiscard]] double fidelity(const CMat& rho, const CMat& sigma);
+
+}  // namespace ftl::qcore

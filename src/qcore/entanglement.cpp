@@ -1,0 +1,90 @@
+#include "qcore/entanglement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qcore/eigen.hpp"
+#include "qcore/gates.hpp"
+
+namespace ftl::qcore {
+
+double von_neumann_entropy(const Density& rho) {
+  const EigResult e = eigh(rho.matrix());
+  double s = 0.0;
+  for (double lam : e.values) {
+    if (lam > 1e-12) s -= lam * std::log2(lam);
+  }
+  return s;
+}
+
+double entanglement_entropy(const StateVec& psi, std::size_t qubit) {
+  const Density rho = Density::from_state(psi);
+  std::vector<std::size_t> traced;
+  for (std::size_t q = 0; q < psi.num_qubits(); ++q) {
+    if (q != qubit) traced.push_back(q);
+  }
+  return von_neumann_entropy(rho.partial_trace(traced));
+}
+
+double concurrence(const Density& rho) {
+  FTL_ASSERT_MSG(rho.num_qubits() == 2, "concurrence is a two-qubit measure");
+  // rho_tilde = (sy (x) sy) rho* (sy (x) sy).
+  const CMat yy = gates::Y().kron(gates::Y());
+  const CMat rho_tilde = yy * rho.matrix().conj() * yy;
+  // Eigenvalues of rho*rho_tilde via the Hermitian form
+  // sqrt(rho) rho_tilde sqrt(rho).
+  const CMat root = sqrt_psd(rho.matrix());
+  const EigResult e = eigh(root * rho_tilde * root);
+  std::vector<double> lams;
+  lams.reserve(4);
+  for (double v : e.values) lams.push_back(std::sqrt(std::max(v, 0.0)));
+  std::sort(lams.begin(), lams.end(), std::greater<>());
+  return std::max(0.0, lams[0] - lams[1] - lams[2] - lams[3]);
+}
+
+double negativity(const Density& rho, std::size_t qubit) {
+  FTL_ASSERT_MSG(rho.num_qubits() == 2, "negativity here is two-qubit");
+  FTL_ASSERT(qubit < 2);
+  // Partial transpose over `qubit`. Basis index = (q0 << 1) | q1.
+  CMat pt(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      std::size_t r2 = r;
+      std::size_t c2 = c;
+      if (qubit == 0) {
+        // Swap the q0 bits of row and column.
+        r2 = (c & 0b10) | (r & 0b01);
+        c2 = (r & 0b10) | (c & 0b01);
+      } else {
+        r2 = (r & 0b10) | (c & 0b01);
+        c2 = (c & 0b10) | (r & 0b01);
+      }
+      pt.at(r, c) = rho.matrix().at(r2, c2);
+    }
+  }
+  const EigResult e = eigh(pt);
+  double neg = 0.0;
+  for (double v : e.values) {
+    if (v < 0.0) neg -= v;
+  }
+  return neg;
+}
+
+double chsh_ceiling(const Density& rho) {
+  FTL_ASSERT_MSG(rho.num_qubits() == 2, "CHSH ceiling is two-qubit");
+  const CMat paulis[3] = {gates::X(), gates::Y(), gates::Z()};
+  // Correlation matrix T_ij = Tr[rho (sigma_i (x) sigma_j)].
+  CMat t(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      t.at(i, j) = (paulis[i].kron(paulis[j]) * rho.matrix()).trace();
+    }
+  }
+  const EigResult e = eigh(t.adjoint() * t);
+  // Two largest eigenvalues of T^T T (all real, >= 0).
+  const double m1 = e.values[2];
+  const double m2 = e.values[1];
+  return 2.0 * std::sqrt(std::max(0.0, m1 + m2));
+}
+
+}  // namespace ftl::qcore

@@ -1,0 +1,39 @@
+// Entanglement measures for the states the library distributes.
+//
+// These quantify what the Figure-1 source actually ships: how much
+// correlation budget a (possibly noisy, possibly stored) pair still holds.
+// Concurrence gives the exact CHSH ceiling for two qubits; negativity and
+// entropy of entanglement are the standard diagnostics quoted in the
+// quantum-networking literature the paper builds on.
+#pragma once
+
+#include "qcore/density.hpp"
+
+namespace ftl::qcore {
+
+/// Von Neumann entropy S(rho) = -Tr[rho log2 rho], in bits.
+[[nodiscard]] double von_neumann_entropy(const Density& rho);
+
+/// Entropy of entanglement of a *pure* two-qubit state: S of either
+/// reduced density matrix (1 bit for a Bell pair, 0 for a product state).
+[[nodiscard]] double entanglement_entropy(const StateVec& psi,
+                                          std::size_t qubit);
+
+/// Wootters concurrence of a two-qubit state: 0 for separable, 1 for
+/// maximally entangled. For a Werner state with visibility v it is
+/// max(0, (3v - 1) / 2).
+[[nodiscard]] double concurrence(const Density& rho);
+
+/// Negativity: sum of |negative eigenvalues| of the partial transpose.
+/// Positive iff a two-qubit state is entangled (PPT criterion is exact
+/// for 2x2 systems). 0.5 for a Bell pair.
+[[nodiscard]] double negativity(const Density& rho, std::size_t qubit);
+
+/// The maximal CHSH value reachable with the given two-qubit state over
+/// all measurement choices (Horodecki criterion): 2*sqrt(m1 + m2) where
+/// m1, m2 are the two largest eigenvalues of T^T T for the correlation
+/// matrix T_ij = Tr[rho (sigma_i (x) sigma_j)]. Quantum advantage in CHSH
+/// exists iff this exceeds 2.
+[[nodiscard]] double chsh_ceiling(const Density& rho);
+
+}  // namespace ftl::qcore

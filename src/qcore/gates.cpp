@@ -1,0 +1,80 @@
+#include "qcore/gates.hpp"
+
+#include <cmath>
+
+namespace ftl::qcore::gates {
+
+namespace {
+constexpr Cx kOne{1.0, 0.0};
+constexpr Cx kZero{0.0, 0.0};
+constexpr Cx kImg{0.0, 1.0};
+}  // namespace
+
+CMat I() { return CMat::identity(2); }
+
+CMat X() { return CMat{{kZero, kOne}, {kOne, kZero}}; }
+
+CMat Y() { return CMat{{kZero, -kImg}, {kImg, kZero}}; }
+
+CMat Z() { return CMat{{kOne, kZero}, {kZero, -kOne}}; }
+
+CMat H() {
+  const Cx h{1.0 / std::sqrt(2.0), 0.0};
+  return CMat{{h, h}, {h, -h}};
+}
+
+CMat S() { return CMat{{kOne, kZero}, {kZero, kImg}}; }
+
+CMat T() {
+  return CMat{{kOne, kZero},
+              {kZero, Cx{std::cos(M_PI / 4.0), std::sin(M_PI / 4.0)}}};
+}
+
+CMat Ry(double t) {
+  const double c = std::cos(t / 2.0);
+  const double s = std::sin(t / 2.0);
+  return CMat{{Cx{c, 0.0}, Cx{-s, 0.0}}, {Cx{s, 0.0}, Cx{c, 0.0}}};
+}
+
+CMat Rz(double t) {
+  return CMat{{Cx{std::cos(-t / 2.0), std::sin(-t / 2.0)}, kZero},
+              {kZero, Cx{std::cos(t / 2.0), std::sin(t / 2.0)}}};
+}
+
+CMat Rx(double t) {
+  const double c = std::cos(t / 2.0);
+  const double s = std::sin(t / 2.0);
+  return CMat{{Cx{c, 0.0}, Cx{0.0, -s}}, {Cx{0.0, -s}, Cx{c, 0.0}}};
+}
+
+CMat CNOT() {
+  CMat m(4, 4);
+  m.at(0, 0) = kOne;
+  m.at(1, 1) = kOne;
+  m.at(2, 3) = kOne;
+  m.at(3, 2) = kOne;
+  return m;
+}
+
+CMat CZ() {
+  CMat m = CMat::identity(4);
+  m.at(3, 3) = -kOne;
+  return m;
+}
+
+CMat SWAP() {
+  CMat m(4, 4);
+  m.at(0, 0) = kOne;
+  m.at(1, 2) = kOne;
+  m.at(2, 1) = kOne;
+  m.at(3, 3) = kOne;
+  return m;
+}
+
+CMat real_basis(double theta) {
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  return CMat{{Cx{c, 0.0}, Cx{-s, 0.0}}, {Cx{s, 0.0}, Cx{c, 0.0}}};
+}
+
+}  // namespace ftl::qcore::gates

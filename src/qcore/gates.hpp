@@ -1,0 +1,37 @@
+// Standard single- and two-qubit gates and measurement bases.
+#pragma once
+
+#include "qcore/matrix.hpp"
+
+namespace ftl::qcore::gates {
+
+[[nodiscard]] CMat I();
+[[nodiscard]] CMat X();
+[[nodiscard]] CMat Y();
+[[nodiscard]] CMat Z();
+[[nodiscard]] CMat H();
+[[nodiscard]] CMat S();
+[[nodiscard]] CMat T();
+
+/// Rotation about Y: Ry(t) = [[cos(t/2), -sin(t/2)], [sin(t/2), cos(t/2)]].
+[[nodiscard]] CMat Ry(double t);
+/// Rotation about Z: diag(e^{-it/2}, e^{+it/2}).
+[[nodiscard]] CMat Rz(double t);
+/// Rotation about X.
+[[nodiscard]] CMat Rx(double t);
+
+/// CNOT with the first qubit of the pair as control (4x4, convention:
+/// basis order |00>, |01>, |10>, |11> with the control as the left qubit).
+[[nodiscard]] CMat CNOT();
+/// Controlled-Z (4x4, symmetric in its qubits).
+[[nodiscard]] CMat CZ();
+/// SWAP (4x4).
+[[nodiscard]] CMat SWAP();
+
+/// The real measurement basis used throughout the paper's CHSH discussion:
+/// columns are |phi0> = cos(theta)|0> + sin(theta)|1> and the orthogonal
+/// |phi1> = -sin(theta)|0> + cos(theta)|1>. Measuring "in basis theta"
+/// means projecting onto these two columns.
+[[nodiscard]] CMat real_basis(double theta);
+
+}  // namespace ftl::qcore::gates

@@ -1,0 +1,200 @@
+#include "qcore/matrix.hpp"
+
+#include <cmath>
+
+namespace ftl::qcore {
+
+CMat::CMat(std::initializer_list<std::initializer_list<Cx>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    FTL_ASSERT_MSG(row.size() == cols_, "ragged initializer list");
+    for (Cx v : row) data_.push_back(v);
+  }
+}
+
+CMat CMat::identity(std::size_t n) {
+  CMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = Cx{1.0, 0.0};
+  return m;
+}
+
+CMat CMat::outer(const std::vector<Cx>& u, const std::vector<Cx>& v) {
+  CMat m(u.size(), v.size());
+  for (std::size_t r = 0; r < u.size(); ++r) {
+    for (std::size_t c = 0; c < v.size(); ++c) {
+      m.at(r, c) = u[r] * std::conj(v[c]);
+    }
+  }
+  return m;
+}
+
+CMat& CMat::operator+=(const CMat& o) {
+  FTL_ASSERT(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+CMat& CMat::operator-=(const CMat& o) {
+  FTL_ASSERT(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+CMat& CMat::operator*=(Cx s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+CMat CMat::operator+(const CMat& o) const {
+  CMat r = *this;
+  r += o;
+  return r;
+}
+
+CMat CMat::operator-(const CMat& o) const {
+  CMat r = *this;
+  r -= o;
+  return r;
+}
+
+CMat CMat::operator*(Cx s) const {
+  CMat r = *this;
+  r *= s;
+  return r;
+}
+
+CMat CMat::operator*(const CMat& o) const {
+  FTL_ASSERT_MSG(cols_ == o.rows_, "matrix product shape mismatch");
+  CMat r(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Cx aik = at(i, k);
+      if (aik == Cx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) {
+        r.at(i, j) += aik * o.at(k, j);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<Cx> CMat::apply(const std::vector<Cx>& v) const {
+  FTL_ASSERT(cols_ == v.size());
+  std::vector<Cx> out(rows_, Cx{0.0, 0.0});
+  for (std::size_t i = 0; i < rows_; ++i) {
+    Cx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < cols_; ++j) acc += at(i, j) * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+CMat CMat::adjoint() const {
+  CMat r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      r.at(j, i) = std::conj(at(i, j));
+    }
+  }
+  return r;
+}
+
+CMat CMat::transpose() const {
+  CMat r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) r.at(j, i) = at(i, j);
+  }
+  return r;
+}
+
+CMat CMat::conj() const {
+  CMat r = *this;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) r.at(i, j) = std::conj(at(i, j));
+  }
+  return r;
+}
+
+Cx CMat::trace() const {
+  FTL_ASSERT(is_square());
+  Cx t{0.0, 0.0};
+  for (std::size_t i = 0; i < rows_; ++i) t += at(i, i);
+  return t;
+}
+
+double CMat::frobenius_norm() const {
+  double s = 0.0;
+  for (const Cx& v : data_) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+CMat CMat::kron(const CMat& o) const {
+  CMat r(rows_ * o.rows_, cols_ * o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const Cx a = at(i, j);
+      if (a == Cx{0.0, 0.0}) continue;
+      for (std::size_t k = 0; k < o.rows_; ++k) {
+        for (std::size_t l = 0; l < o.cols_; ++l) {
+          r.at(i * o.rows_ + k, j * o.cols_ + l) = a * o.at(k, l);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+bool CMat::is_hermitian(double tol) const {
+  if (!is_square()) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      if (!approx_eq(at(i, j), std::conj(at(j, i)), tol)) return false;
+    }
+  }
+  return true;
+}
+
+bool CMat::is_unitary(double tol) const {
+  if (!is_square()) return false;
+  return (adjoint() * *this).approx_equal(identity(rows_), tol);
+}
+
+bool CMat::approx_equal(const CMat& o, double tol) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - o.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+Cx inner(const std::vector<Cx>& u, const std::vector<Cx>& v) {
+  FTL_ASSERT(u.size() == v.size());
+  Cx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < u.size(); ++i) acc += std::conj(u[i]) * v[i];
+  return acc;
+}
+
+double norm(const std::vector<Cx>& v) {
+  double s = 0.0;
+  for (Cx x : v) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+void normalize(std::vector<Cx>& v) {
+  const double n = norm(v);
+  FTL_ASSERT_MSG(n > 1e-300, "cannot normalize the zero vector");
+  for (Cx& x : v) x /= n;
+}
+
+std::vector<Cx> kron(const std::vector<Cx>& a, const std::vector<Cx>& b) {
+  std::vector<Cx> out;
+  out.reserve(a.size() * b.size());
+  for (Cx x : a) {
+    for (Cx y : b) out.push_back(x * y);
+  }
+  return out;
+}
+
+}  // namespace ftl::qcore

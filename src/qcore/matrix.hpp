@@ -1,0 +1,103 @@
+// Dense complex matrices sized for few-qubit quantum simulation.
+//
+// This is deliberately a small, dependency-free linear-algebra layer: the
+// paper's protocols need at most a handful of qubits (2 for CHSH, 3-4 for the
+// ECMP impossibility study), so matrices stay tiny (<= 32x32) and a simple
+// row-major dense representation is both fastest and simplest to audit.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "qcore/complex.hpp"
+#include "util/assert.hpp"
+
+namespace ftl::qcore {
+
+class CMat {
+ public:
+  CMat() = default;
+
+  /// Zero matrix of the given shape.
+  CMat(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, Cx{0.0, 0.0}) {}
+
+  /// Row-major construction from a nested initializer list.
+  CMat(std::initializer_list<std::initializer_list<Cx>> rows);
+
+  [[nodiscard]] static CMat identity(std::size_t n);
+  /// Outer product |u><v| (rows = u.size, cols = v.size).
+  [[nodiscard]] static CMat outer(const std::vector<Cx>& u,
+                                  const std::vector<Cx>& v);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] Cx& at(std::size_t r, std::size_t c) {
+    FTL_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] Cx at(std::size_t r, std::size_t c) const {
+    FTL_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] Cx operator()(std::size_t r, std::size_t c) const {
+    return at(r, c);
+  }
+  [[nodiscard]] Cx& operator()(std::size_t r, std::size_t c) {
+    return at(r, c);
+  }
+
+  CMat& operator+=(const CMat& o);
+  CMat& operator-=(const CMat& o);
+  CMat& operator*=(Cx s);
+
+  [[nodiscard]] CMat operator+(const CMat& o) const;
+  [[nodiscard]] CMat operator-(const CMat& o) const;
+  [[nodiscard]] CMat operator*(const CMat& o) const;  // matrix product
+  [[nodiscard]] CMat operator*(Cx s) const;
+
+  /// Matrix-vector product.
+  [[nodiscard]] std::vector<Cx> apply(const std::vector<Cx>& v) const;
+
+  /// Conjugate transpose.
+  [[nodiscard]] CMat adjoint() const;
+  [[nodiscard]] CMat transpose() const;
+  [[nodiscard]] CMat conj() const;
+
+  [[nodiscard]] Cx trace() const;
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Kronecker (tensor) product: this (x) o.
+  [[nodiscard]] CMat kron(const CMat& o) const;
+
+  [[nodiscard]] bool is_square() const { return rows_ == cols_; }
+  [[nodiscard]] bool is_hermitian(double tol = 1e-8) const;
+  [[nodiscard]] bool is_unitary(double tol = 1e-8) const;
+  [[nodiscard]] bool approx_equal(const CMat& o, double tol = 1e-8) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Cx> data_;
+};
+
+[[nodiscard]] inline CMat operator*(Cx s, const CMat& m) { return m * s; }
+
+// --- free functions on complex vectors (kets) -------------------------------
+
+/// <u|v> with the physics convention: conjugate-linear in the first slot.
+[[nodiscard]] Cx inner(const std::vector<Cx>& u, const std::vector<Cx>& v);
+
+/// Euclidean norm.
+[[nodiscard]] double norm(const std::vector<Cx>& v);
+
+/// Scales v to unit norm; asserts it is not the zero vector.
+void normalize(std::vector<Cx>& v);
+
+/// Tensor product of two kets.
+[[nodiscard]] std::vector<Cx> kron(const std::vector<Cx>& a,
+                                   const std::vector<Cx>& b);
+
+}  // namespace ftl::qcore

@@ -1,0 +1,103 @@
+#include "qcore/pauli.hpp"
+
+#include <cmath>
+
+namespace ftl::qcore {
+
+PauliSum::PauliSum(std::vector<PauliTerm> terms) : terms_(std::move(terms)) {
+  FTL_ASSERT(!terms_.empty());
+  for (const PauliTerm& t : terms_) {
+    FTL_ASSERT_MSG(t.ops.size() == terms_.front().ops.size(),
+                   "all terms must cover the same register");
+    for (char c : t.ops) {
+      FTL_ASSERT_MSG(c == 'I' || c == 'X' || c == 'Y' || c == 'Z',
+                     "ops must be I/X/Y/Z");
+    }
+  }
+}
+
+std::size_t PauliSum::num_qubits() const { return terms_.front().ops.size(); }
+
+void accumulate_pauli_term(const PauliTerm& term, const std::vector<Cx>& in,
+                           std::vector<Cx>& out) {
+  const std::size_t n = term.ops.size();
+  FTL_ASSERT(in.size() == (std::size_t{1} << n) && out.size() == in.size());
+  // Bit for qubit q sits at position (n - 1 - q).
+  std::size_t flip_mask = 0;
+  std::size_t y_mask = 0;
+  std::size_t z_mask = 0;
+  for (std::size_t q = 0; q < n; ++q) {
+    const std::size_t bit = std::size_t{1} << (n - 1 - q);
+    switch (term.ops[q]) {
+      case 'X': flip_mask |= bit; break;
+      case 'Y': flip_mask |= bit; y_mask |= bit; break;
+      case 'Z': z_mask |= bit; break;
+      default: break;
+    }
+  }
+  const int num_y = __builtin_popcountll(y_mask);
+  // Global phase of the Y's: each contributes i or -i depending on the bit.
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == Cx{0.0, 0.0}) continue;
+    // (-1) for each set Z bit and each set Y bit (from -i vs +i), times a
+    // global i^{#Y}.
+    const int minus_count = __builtin_popcountll(i & z_mask) +
+                            __builtin_popcountll(i & y_mask);
+    Cx phase = (minus_count & 1) != 0 ? Cx{-1.0, 0.0} : Cx{1.0, 0.0};
+    switch (num_y & 3) {  // i^{#Y}
+      case 1: phase *= Cx{0.0, 1.0}; break;
+      case 2: phase *= Cx{-1.0, 0.0}; break;
+      case 3: phase *= Cx{0.0, -1.0}; break;
+      default: break;
+    }
+    out[i ^ flip_mask] += Cx{term.coefficient, 0.0} * phase * in[i];
+  }
+}
+
+std::vector<Cx> PauliSum::apply(const StateVec& psi) const {
+  FTL_ASSERT(psi.num_qubits() == num_qubits());
+  std::vector<Cx> out(psi.dim(), Cx{0.0, 0.0});
+  for (const PauliTerm& t : terms_) {
+    accumulate_pauli_term(t, psi.amplitudes(), out);
+  }
+  return out;
+}
+
+double PauliSum::expectation(const StateVec& psi) const {
+  const std::vector<Cx> opsi = apply(psi);
+  return inner(psi.amplitudes(), opsi).real();
+}
+
+bool PauliSum::squares_to_identity_on(const StateVec& psi, double tol) const {
+  const std::vector<Cx> once = apply(psi);
+  // O (O psi): reuse the raw accumulator on the intermediate vector.
+  std::vector<Cx> twice(psi.dim(), Cx{0.0, 0.0});
+  for (const PauliTerm& t : terms_) accumulate_pauli_term(t, once, twice);
+  double diff2 = 0.0;
+  for (std::size_t i = 0; i < twice.size(); ++i) {
+    diff2 += std::norm(twice[i] - psi.amplitudes()[i]);
+  }
+  return std::sqrt(diff2) <= tol;
+}
+
+int PauliSum::measure(StateVec& psi, util::Rng& rng) const {
+  FTL_ASSERT_MSG(squares_to_identity_on(psi),
+                 "observable must square to the identity on this state");
+  const std::vector<Cx> opsi = apply(psi);
+  const double e = inner(psi.amplitudes(), opsi).real();
+  const double p_plus = 0.5 * (1.0 + e);
+  const int outcome = rng.uniform() < p_plus ? +1 : -1;
+  const double sign = outcome > 0 ? 1.0 : -1.0;
+  const double keep = outcome > 0 ? p_plus : 1.0 - p_plus;
+  FTL_ASSERT_MSG(keep > 1e-300, "measured an outcome of probability ~0");
+  std::vector<Cx> post(psi.dim());
+  const double scale = 0.5 / std::sqrt(keep);
+  for (std::size_t i = 0; i < post.size(); ++i) {
+    post[i] = (psi.amplitudes()[i] + Cx{sign, 0.0} * opsi[i]) *
+              Cx{scale, 0.0};
+  }
+  psi = StateVec::from_amplitudes(std::move(post));
+  return outcome;
+}
+
+}  // namespace ftl::qcore

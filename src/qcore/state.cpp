@@ -1,0 +1,168 @@
+#include "qcore/state.hpp"
+
+#include <cmath>
+
+namespace ftl::qcore {
+
+namespace {
+constexpr Cx kZero{0.0, 0.0};
+}
+
+StateVec::StateVec(std::size_t num_qubits)
+    : num_qubits_(num_qubits), amps_(std::size_t{1} << num_qubits, kZero) {
+  FTL_ASSERT_MSG(num_qubits >= 1 && num_qubits <= 24,
+                 "state-vector simulator supports 1..24 qubits");
+  amps_[0] = Cx{1.0, 0.0};
+}
+
+StateVec StateVec::from_amplitudes(std::vector<Cx> amps) {
+  std::size_t n = 0;
+  while ((std::size_t{1} << n) < amps.size()) ++n;
+  FTL_ASSERT_MSG((std::size_t{1} << n) == amps.size(),
+                 "amplitude count must be a power of two");
+  StateVec s;
+  s.num_qubits_ = n;
+  s.amps_ = std::move(amps);
+  FTL_ASSERT_MSG(std::abs(s.norm() - 1.0) < 1e-6,
+                 "amplitudes must be normalised");
+  return s;
+}
+
+StateVec StateVec::bell_phi_plus() {
+  const double r = 1.0 / std::sqrt(2.0);
+  return from_amplitudes({Cx{r, 0.0}, kZero, kZero, Cx{r, 0.0}});
+}
+
+StateVec StateVec::ghz(std::size_t num_qubits) {
+  FTL_ASSERT(num_qubits >= 2);
+  std::vector<Cx> amps(std::size_t{1} << num_qubits, kZero);
+  const double r = 1.0 / std::sqrt(2.0);
+  amps.front() = Cx{r, 0.0};
+  amps.back() = Cx{r, 0.0};
+  return from_amplitudes(std::move(amps));
+}
+
+Cx StateVec::amplitude(std::size_t basis_index) const {
+  FTL_ASSERT(basis_index < amps_.size());
+  return amps_[basis_index];
+}
+
+double StateVec::norm() const {
+  double s = 0.0;
+  for (Cx a : amps_) s += std::norm(a);
+  return std::sqrt(s);
+}
+
+std::vector<double> StateVec::probabilities() const {
+  std::vector<double> p(amps_.size());
+  for (std::size_t i = 0; i < amps_.size(); ++i) p[i] = std::norm(amps_[i]);
+  return p;
+}
+
+std::size_t StateVec::bit_mask(std::size_t qubit) const {
+  FTL_ASSERT(qubit < num_qubits_);
+  return std::size_t{1} << (num_qubits_ - 1 - qubit);
+}
+
+void StateVec::apply1(const CMat& u, std::size_t qubit) {
+  FTL_ASSERT(u.rows() == 2 && u.cols() == 2);
+  const std::size_t mask = bit_mask(qubit);
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if ((i & mask) != 0) continue;  // visit each pair once via its 0-branch
+    const std::size_t j = i | mask;
+    const Cx a0 = amps_[i];
+    const Cx a1 = amps_[j];
+    amps_[i] = u.at(0, 0) * a0 + u.at(0, 1) * a1;
+    amps_[j] = u.at(1, 0) * a0 + u.at(1, 1) * a1;
+  }
+}
+
+void StateVec::apply2(const CMat& u, std::size_t qa, std::size_t qb) {
+  FTL_ASSERT(u.rows() == 4 && u.cols() == 4);
+  FTL_ASSERT(qa != qb);
+  const std::size_t ma = bit_mask(qa);
+  const std::size_t mb = bit_mask(qb);
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if ((i & ma) != 0 || (i & mb) != 0) continue;
+    // Local basis order: index bit from qa is the high bit, qb the low bit.
+    const std::size_t i00 = i;
+    const std::size_t i01 = i | mb;
+    const std::size_t i10 = i | ma;
+    const std::size_t i11 = i | ma | mb;
+    const Cx a00 = amps_[i00];
+    const Cx a01 = amps_[i01];
+    const Cx a10 = amps_[i10];
+    const Cx a11 = amps_[i11];
+    amps_[i00] = u.at(0, 0) * a00 + u.at(0, 1) * a01 + u.at(0, 2) * a10 +
+                 u.at(0, 3) * a11;
+    amps_[i01] = u.at(1, 0) * a00 + u.at(1, 1) * a01 + u.at(1, 2) * a10 +
+                 u.at(1, 3) * a11;
+    amps_[i10] = u.at(2, 0) * a00 + u.at(2, 1) * a01 + u.at(2, 2) * a10 +
+                 u.at(2, 3) * a11;
+    amps_[i11] = u.at(3, 0) * a00 + u.at(3, 1) * a01 + u.at(3, 2) * a10 +
+                 u.at(3, 3) * a11;
+  }
+}
+
+double StateVec::outcome_probability(std::size_t qubit, const CMat& basis,
+                                     int outcome) const {
+  FTL_ASSERT(outcome == 0 || outcome == 1);
+  FTL_ASSERT_MSG(basis.is_unitary(1e-8),
+                 "measurement basis must be an orthonormal (unitary) frame");
+  // Rotate the qubit into the measurement frame and read the Born weight
+  // of the corresponding computational outcome.
+  StateVec rotated = *this;
+  rotated.apply1(basis.adjoint(), qubit);
+  const std::size_t mask = rotated.bit_mask(qubit);
+  double p = 0.0;
+  for (std::size_t i = 0; i < rotated.amps_.size(); ++i) {
+    const bool one = (i & mask) != 0;
+    if (one == (outcome == 1)) p += std::norm(rotated.amps_[i]);
+  }
+  return p;
+}
+
+int StateVec::measure(std::size_t qubit, const CMat& basis, util::Rng& rng) {
+  FTL_ASSERT_MSG(basis.is_unitary(1e-8),
+                 "measurement basis must be an orthonormal (unitary) frame");
+  // Rotate into the measurement frame, do a computational measurement,
+  // rotate back so the collapsed qubit is |phi_outcome> in the original
+  // frame — the textbook projective post-measurement state.
+  apply1(basis.adjoint(), qubit);
+  const int outcome = measure_computational(qubit, rng);
+  apply1(basis, qubit);
+  return outcome;
+}
+
+int StateVec::measure_computational(std::size_t qubit, util::Rng& rng) {
+  const std::size_t mask = bit_mask(qubit);
+  double p1 = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if ((i & mask) != 0) p1 += std::norm(amps_[i]);
+  }
+  const int outcome = rng.uniform() < p1 ? 1 : 0;
+  const double keep_prob = outcome == 1 ? p1 : 1.0 - p1;
+  FTL_ASSERT_MSG(keep_prob > 1e-300, "measured an outcome of probability ~0");
+  const double scale = 1.0 / std::sqrt(keep_prob);
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    const bool one = (i & mask) != 0;
+    if (one == (outcome == 1)) {
+      amps_[i] *= scale;
+    } else {
+      amps_[i] = kZero;
+    }
+  }
+  return outcome;
+}
+
+CMat StateVec::to_density() const { return CMat::outer(amps_, amps_); }
+
+bool StateVec::approx_equal(const StateVec& o, double tol) const {
+  if (num_qubits_ != o.num_qubits_) return false;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (std::abs(amps_[i] - o.amps_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace ftl::qcore

@@ -1,0 +1,75 @@
+// Pure-state (state-vector) simulator for small registers of qubits.
+//
+// Qubit ordering convention: qubit 0 is the *leftmost* factor in ket
+// notation, so for |q0 q1 ... q_{n-1}> the basis-state index carries qubit k
+// in bit position (n-1-k). This matches the paper's notation where in
+// (|00> + |11>)/sqrt(2) "the first qubit is sent to the first server".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qcore/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::qcore {
+
+class StateVec {
+ public:
+  /// |0...0> on n qubits.
+  explicit StateVec(std::size_t num_qubits);
+
+  /// Builds a state from explicit amplitudes (must be a power-of-two sized,
+  /// normalised vector).
+  [[nodiscard]] static StateVec from_amplitudes(std::vector<Cx> amps);
+
+  /// The Bell pair (|00> + |11>)/sqrt(2) — the paper's workhorse state.
+  [[nodiscard]] static StateVec bell_phi_plus();
+
+  /// GHZ state (|0...0> + |1...1>)/sqrt(2) on n qubits.
+  [[nodiscard]] static StateVec ghz(std::size_t num_qubits);
+
+  [[nodiscard]] std::size_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] std::size_t dim() const { return amps_.size(); }
+  [[nodiscard]] Cx amplitude(std::size_t basis_index) const;
+  [[nodiscard]] const std::vector<Cx>& amplitudes() const { return amps_; }
+  [[nodiscard]] double norm() const;
+
+  /// Probability of each computational basis outcome.
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// Applies a single-qubit unitary to `qubit`.
+  void apply1(const CMat& u, std::size_t qubit);
+
+  /// Applies a two-qubit unitary to the ordered pair (qa, qb); qa is the
+  /// high-order qubit of the 4x4 gate's basis.
+  void apply2(const CMat& u, std::size_t qa, std::size_t qb);
+
+  /// Probability that measuring `qubit` in the orthonormal basis given by
+  /// the columns of `basis` yields `outcome` (0 or 1). Does not collapse.
+  [[nodiscard]] double outcome_probability(std::size_t qubit,
+                                           const CMat& basis,
+                                           int outcome) const;
+
+  /// Projective measurement of `qubit` in the given basis; collapses the
+  /// state (post-measurement state is renormalised) and returns 0 or 1.
+  int measure(std::size_t qubit, const CMat& basis, util::Rng& rng);
+
+  /// Measurement in the computational basis {|0>, |1>}.
+  int measure_computational(std::size_t qubit, util::Rng& rng);
+
+  /// Density matrix |psi><psi|.
+  [[nodiscard]] CMat to_density() const;
+
+  [[nodiscard]] bool approx_equal(const StateVec& o, double tol = 1e-9) const;
+
+ private:
+  StateVec() = default;
+
+  [[nodiscard]] std::size_t bit_mask(std::size_t qubit) const;
+
+  std::size_t num_qubits_ = 0;
+  std::vector<Cx> amps_;
+};
+
+}  // namespace ftl::qcore

@@ -1,0 +1,20 @@
+#include "qnet/config.hpp"
+
+#include <cmath>
+
+namespace ftl::qnet {
+
+double QnetConfig::photon_survival_probability() const {
+  return std::pow(10.0, -attenuation_db_per_km * fiber_km / 10.0);
+}
+
+double QnetConfig::pair_delivery_probability() const {
+  const double p = photon_survival_probability();
+  return p * p;
+}
+
+double QnetConfig::propagation_delay_s() const {
+  return fiber_km * 1000.0 / fiber_speed_mps;
+}
+
+}  // namespace ftl::qnet

@@ -1,0 +1,51 @@
+// Configuration of the paper's Figure-1 architecture: a lightweight
+// entanglement source feeding classical servers over fiber, with QNIC
+// measurement + short-lived room-temperature storage at each server.
+//
+// Defaults follow §3's numbers: SPDC pair rates of 1e4..1e7 pairs/s,
+// room-temperature storage of 16-160 us, and fiber attenuation of ~0.2 dB/km
+// for telecom photons.
+#pragma once
+
+#include <cstddef>
+
+namespace ftl::qnet {
+
+struct QnetConfig {
+  /// Entangled-pair generation rate at the source (pairs per second).
+  double pair_rate_hz = 1.0e5;
+
+  /// Visibility of a freshly generated pair (Werner parameter; Bell-state
+  /// fidelity F = (1 + 3v)/4). SPDC sources commonly reach F > 0.95.
+  double source_visibility = 0.98;
+
+  /// One-way fiber length from the source to each server, km.
+  double fiber_km = 0.5;
+
+  /// Fiber loss; each photon survives with prob 10^(-loss*km/10).
+  double attenuation_db_per_km = 0.2;
+
+  /// Signal speed in fiber (m/s), ~2/3 c.
+  double fiber_speed_mps = 2.0e8;
+
+  /// QNIC memory relaxation (T1) and coherence (T2) times, seconds.
+  /// §3 cites high-fidelity room-temperature storage of 16-160 us.
+  double memory_t1_s = 500e-6;
+  double memory_t2_s = 100e-6;
+
+  /// Pairs older than this are discarded (decohered beyond usefulness).
+  double max_storage_s = 200e-6;
+
+  /// QNIC memory slots per endpoint pair.
+  std::size_t memory_slots = 8;
+
+  [[nodiscard]] double photon_survival_probability() const;
+
+  /// Probability both halves of a pair survive their fibers.
+  [[nodiscard]] double pair_delivery_probability() const;
+
+  /// One-way propagation delay over the fiber, seconds.
+  [[nodiscard]] double propagation_delay_s() const;
+};
+
+}  // namespace ftl::qnet

@@ -1,0 +1,55 @@
+#include "qnet/decoherence.hpp"
+
+#include "games/chsh.hpp"
+#include "qcore/channels.hpp"
+
+namespace ftl::qnet {
+
+qcore::Density pair_state_after_storage(double v0, double storage_a_s,
+                                        double storage_b_s, double t1_s,
+                                        double t2_s) {
+  qcore::Density rho = qcore::Density::werner(v0);
+  const auto apply_storage = [&](double t, std::size_t qubit) {
+    for (const auto& ch : qcore::storage_decoherence(t, t1_s, t2_s)) {
+      rho.apply_channel(ch, qubit);
+    }
+  };
+  apply_storage(storage_a_s, 0);
+  apply_storage(storage_b_s, 1);
+  return rho;
+}
+
+double chsh_win_after_storage(double v0, double storage_a_s,
+                              double storage_b_s, double t1_s, double t2_s) {
+  qcore::Density rho =
+      pair_state_after_storage(v0, storage_a_s, storage_b_s, t1_s, t2_s);
+  const games::QuantumStrategy strat = games::chsh_strategy_with_state(
+      std::move(rho), games::chsh_optimal_angles(), /*flip_bob_output=*/true);
+  return strat.value(games::chsh_game(/*flipped=*/true));
+}
+
+double useful_storage_window_s(double v0, double t1_s, double t2_s) {
+  const double classical = 0.75;
+  if (chsh_win_after_storage(v0, 0.0, 0.0, t1_s, t2_s) <= classical + 1e-12) {
+    return 0.0;
+  }
+  double lo = 0.0;
+  double hi = t2_s;
+  // Grow hi until the pair is useless (bounded to avoid an infinite loop).
+  for (int i = 0; i < 60 &&
+                  chsh_win_after_storage(v0, hi, hi, t1_s, t2_s) > classical;
+       ++i) {
+    hi *= 2.0;
+  }
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (chsh_win_after_storage(v0, mid, mid, t1_s, t2_s) > classical) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ftl::qnet

@@ -1,0 +1,36 @@
+#include "qnet/detector.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ftl::qnet {
+
+double chsh_win_with_detectors(double efficiency, double visibility) {
+  FTL_ASSERT(efficiency >= 0.0 && efficiency <= 1.0);
+  FTL_ASSERT(visibility >= 0.0 && visibility <= 1.0);
+  const double w_q = 0.5 * (1.0 + visibility / std::sqrt(2.0));
+  const double both = efficiency * efficiency;
+  const double one = 2.0 * efficiency * (1.0 - efficiency);
+  const double none = (1.0 - efficiency) * (1.0 - efficiency);
+  // One-sided failure: a fair measurement outcome against an independent
+  // shared bit — win probability exactly 1/2 on every input pair.
+  return both * w_q + one * 0.5 + none * 0.75;
+}
+
+double breakeven_efficiency(double visibility) {
+  if (chsh_win_with_detectors(1.0, visibility) <= 0.75 + 1e-12) return 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (chsh_win_with_detectors(mid, visibility) > 0.75) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ftl::qnet

@@ -1,0 +1,38 @@
+// Detector inefficiency: the sharpest of §3's "error margins".
+//
+// Real single-photon detectors fire with efficiency eta < 1. The failure
+// mode is nastier than it looks: when one endpoint's detector fails it
+// falls back to its classical shared-randomness bit, but the *other*
+// endpoint (whose detector fired) has no way to know — its measurement
+// outcome is now uncorrelated with the partner's fallback bit, and the
+// round wins only 50% of the time, WORSE than the all-classical 75%.
+// Per-round win probability:
+//
+//   w(eta) = eta^2 * w_q + 2 eta (1 - eta) * 1/2 + (1 - eta)^2 * 3/4
+//
+// with w_q = (1 + v/sqrt2)/2. Setting w(eta) > 3/4 gives a hard
+// deployment threshold: eta > 1 / (2 (2 w_q - 3/2) + 1)... numerically
+// ~0.854 for ideal pairs. Below that efficiency the "quantum" load
+// balancer should be turned off — a constraint the paper's architecture
+// section does not spell out, surfaced here with the model to measure it.
+#pragma once
+
+namespace ftl::qnet {
+
+struct DetectorModel {
+  /// Probability a measurement attempt yields an outcome.
+  double efficiency = 1.0;
+};
+
+/// Per-round flipped-CHSH win probability with independent detector
+/// failures at both endpoints (failed endpoints use the classical shared
+/// bit; partners cannot tell).
+[[nodiscard]] double chsh_win_with_detectors(double efficiency,
+                                             double visibility);
+
+/// Minimum detector efficiency at which the quantum scheme still beats the
+/// classical 3/4, for pairs of the given visibility (bisection; 0 if even
+/// perfect detectors lose, i.e. visibility <= 1/sqrt2).
+[[nodiscard]] double breakeven_efficiency(double visibility);
+
+}  // namespace ftl::qnet

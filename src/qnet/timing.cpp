@@ -1,0 +1,21 @@
+#include "qnet/timing.hpp"
+
+#include "util/assert.hpp"
+
+namespace ftl::qnet {
+
+double classical_coordination_latency_s(const TimingModel& m) {
+  return 2.0 * m.inter_server_distance_m / m.fiber_speed_mps + m.processing_s;
+}
+
+double quantum_decision_latency_s(const TimingModel& m) {
+  return m.processing_s;
+}
+
+double quantum_no_storage_latency_s(const TimingModel& m,
+                                    double pair_rate_hz) {
+  FTL_ASSERT(pair_rate_hz > 0.0);
+  return 1.0 / pair_rate_hz + m.processing_s;
+}
+
+}  // namespace ftl::qnet

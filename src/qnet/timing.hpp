@@ -1,0 +1,37 @@
+// The Figure-2 timing argument, made quantitative.
+//
+// With pre-shared entangled qubits a server decides the moment an input
+// arrives; coordinating classically costs at least one inter-server RTT.
+// When QNIC storage is unavailable, §3's alternative is to time qubit
+// arrival *after* the input: the decision then waits for the next pair,
+// which for a Poisson source is an Exp(rate) residual — still independent
+// of the inter-server distance (not limited by the speed of light).
+#pragma once
+
+namespace ftl::qnet {
+
+struct TimingModel {
+  /// Distance between the two coordinating servers, meters.
+  double inter_server_distance_m = 100.0;
+  /// Distance from the entanglement source to each server, meters.
+  double source_distance_m = 50.0;
+  /// Signal speed in fiber, m/s (~2/3 c).
+  double fiber_speed_mps = 2.0e8;
+  /// Local processing (measurement + NIC) per decision, seconds.
+  double processing_s = 1.0e-6;
+};
+
+/// Decision latency if the servers coordinate classically: one round trip
+/// between them plus processing.
+[[nodiscard]] double classical_coordination_latency_s(const TimingModel& m);
+
+/// Decision latency with a pre-shared stored qubit: processing only.
+[[nodiscard]] double quantum_decision_latency_s(const TimingModel& m);
+
+/// Expected decision latency without storage, waiting for the next pair
+/// from a Poisson source of the given rate (mean residual 1/rate), plus
+/// processing. Independent of inter_server_distance_m.
+[[nodiscard]] double quantum_no_storage_latency_s(const TimingModel& m,
+                                                  double pair_rate_hz);
+
+}  // namespace ftl::qnet

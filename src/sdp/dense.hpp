@@ -1,0 +1,35 @@
+// Small dense real linear algebra for the interior-point solver.
+#pragma once
+
+#include <vector>
+
+namespace ftl::sdp {
+
+/// Dense row-major real matrix, sized for the tiny systems the NPA barrier
+/// solves (tens of rows).
+class RMat {
+ public:
+  RMat() = default;
+  RMat(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), a_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return a_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return a_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> a_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. Asserts
+/// on (numerically) singular systems.
+[[nodiscard]] std::vector<double> solve_linear(RMat a, std::vector<double> b);
+
+}  // namespace ftl::sdp

@@ -1,0 +1,127 @@
+#include "sdp/tsirelson.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ftl::sdp {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double vec_norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+/// Objective sum_{i != j} C_ij <r_i, r_j>.
+double objective(const SymMatrix& c,
+                 const std::vector<std::vector<double>>& rows) {
+  const std::size_t n = c.size();
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      s += c.at(i, j) * dot(rows[i], rows[j]);
+    }
+  }
+  return s;
+}
+
+void random_unit_rows(std::vector<std::vector<double>>& rows, std::size_t rank,
+                      ftl::util::Rng& rng) {
+  for (auto& r : rows) {
+    r.resize(rank);
+    double n2;
+    do {
+      for (double& x : r) x = rng.normal();
+      n2 = vec_norm(r);
+    } while (n2 < 1e-12);
+    for (double& x : r) x /= n2;
+  }
+}
+
+}  // namespace
+
+GramResult max_gram(const SymMatrix& c, const GramOptions& opts) {
+  const std::size_t n = c.size();
+  FTL_ASSERT(n >= 1);
+  const std::size_t rank = opts.rank == 0 ? n : opts.rank;
+  ftl::util::Rng rng(opts.seed);
+
+  GramResult best;
+  best.value = -1e300;
+
+  std::vector<std::vector<double>> rows(n);
+  std::vector<double> grad(rank);
+  for (int restart = 0; restart < opts.restarts; ++restart) {
+    random_unit_rows(rows, rank, rng);
+    double prev = objective(c, rows);
+    int sweep = 0;
+    bool converged = false;
+    for (; sweep < opts.max_sweeps; ++sweep) {
+      // Exact block-coordinate step: the conditional optimum for row i with
+      // all others fixed is the normalised gradient g_i = 2 sum_j C_ij r_j
+      // (symmetric C; the diagonal term only rescales r_i and is ignored
+      // because rows stay unit-norm).
+      for (std::size_t i = 0; i < n; ++i) {
+        std::fill(grad.begin(), grad.end(), 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          const double cij = c.at(i, j) + c.at(j, i);
+          if (cij == 0.0) continue;
+          const auto& rj = rows[j];
+          for (std::size_t k = 0; k < rank; ++k) grad[k] += cij * rj[k];
+        }
+        const double gnorm = vec_norm(grad);
+        if (gnorm < 1e-14) continue;  // row is unconstrained; keep as is
+        for (std::size_t k = 0; k < rank; ++k) rows[i][k] = grad[k] / gnorm;
+      }
+      const double cur = objective(c, rows);
+      if (cur - prev < opts.tol) {
+        prev = cur;
+        converged = true;
+        break;
+      }
+      prev = cur;
+    }
+    if (prev > best.value) {
+      best.value = prev;
+      best.rows = rows;
+      best.sweeps_used = sweep + 1;
+      best.converged = converged;
+    }
+  }
+  return best;
+}
+
+XorBiasResult xor_quantum_bias(const std::vector<std::vector<double>>& m,
+                               const GramOptions& opts) {
+  const std::size_t nx = m.size();
+  FTL_ASSERT(nx >= 1);
+  const std::size_t ny = m.front().size();
+  for (const auto& row : m) FTL_ASSERT_MSG(row.size() == ny, "ragged matrix");
+
+  // Bipartite embedding: indices [0, nx) are Alice's vectors, [nx, nx+ny)
+  // Bob's; C places M/2 on each off-diagonal block so that
+  // <C, RR^T> = sum_xy M_xy <u_x, v_y>.
+  SymMatrix c(nx + ny);
+  for (std::size_t x = 0; x < nx; ++x) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      c.at(x, nx + y) = m[x][y] / 2.0;
+      c.at(nx + y, x) = m[x][y] / 2.0;
+    }
+  }
+
+  const GramResult g = max_gram(c, opts);
+  XorBiasResult out;
+  out.bias = g.value;
+  out.converged = g.converged;
+  out.alice.assign(g.rows.begin(), g.rows.begin() + static_cast<long>(nx));
+  out.bob.assign(g.rows.begin() + static_cast<long>(nx), g.rows.end());
+  return out;
+}
+
+}  // namespace ftl::sdp

@@ -1,0 +1,34 @@
+#include "sim/engine.hpp"
+
+namespace ftl::sim {
+
+EventId Engine::schedule_at(Time at, std::function<void()> fn) {
+  FTL_ASSERT_MSG(at >= now_, "cannot schedule events in the past");
+  const EventId id = next_id_++;
+  queue_.push(Item{at, id, std::move(fn)});
+  return id;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Item item = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(item.id) > 0) continue;
+    now_ = item.at;
+    item.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(Time t_end) {
+  while (!queue_.empty() && queue_.top().at <= t_end) step();
+  if (now_ < t_end) now_ = t_end;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace ftl::sim

@@ -1,0 +1,74 @@
+// A small discrete-event simulation engine.
+//
+// Used by the qnet substrate (entanglement generation, fiber delays, memory
+// expiry) where events happen at irregular physical times. The cluster and
+// ECMP simulators are synchronous (time-stepped) and do not need it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ftl::sim {
+
+/// Simulated physical time, in seconds.
+using Time = double;
+
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now). Returns an id usable
+  /// with cancel(). Events at equal times fire in scheduling order.
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds.
+  EventId schedule_in(Time delay, std::function<void()> fn) {
+    FTL_ASSERT(delay >= 0.0);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; cancelling an already-fired or unknown id is
+  /// a no-op (the usual DES contract).
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Runs the next pending event; returns false if none remain.
+  bool step();
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `t_end`; leaves now() at min(t_end, last event time).
+  void run_until(Time t_end);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  [[nodiscard]] std::size_t pending() const {
+    return queue_.size();  // includes cancelled-but-unpopped events
+  }
+
+ private:
+  struct Item {
+    Time at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace ftl::sim

@@ -1,0 +1,73 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace ftl::util {
+
+Args::Args(int argc, const char* const* argv, bool allow_unknown) {
+  (void)allow_unknown;  // reserved; all flags are currently accepted
+  FTL_ASSERT(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    FTL_ASSERT_MSG(!body.empty(), "bare '--' is not a valid flag");
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` if the next token exists and is not itself a flag;
+    // otherwise a boolean `--name`.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return flags_.find(name) != flags_.end();
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double Args::get(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+long long Args::get(const std::string& name, long long fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+std::size_t Args::get(const std::string& name, std::size_t fallback) const {
+  const long long v = get(name, static_cast<long long>(fallback));
+  FTL_ASSERT_MSG(v >= 0, "flag value must be non-negative");
+  return static_cast<std::size_t>(v);
+}
+
+bool Args::get(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ftl::util

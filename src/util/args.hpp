@@ -1,0 +1,49 @@
+// Minimal command-line flag parser for the example binaries.
+//
+// Supports `--name value`, `--name=value`, `--flag` (boolean), and bare
+// positional arguments, with typed accessors and defaults. Unknown flags
+// are an error so typos fail loudly; `--help` support is left to callers
+// (usage() renders the registered flags).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftl::util {
+
+class Args {
+ public:
+  /// Parses argv; aborts with a message on malformed input. Register the
+  /// allowed flags first via the describe() builder on a default-built
+  /// object, or pass allow_unknown = true to accept anything.
+  Args(int argc, const char* const* argv, bool allow_unknown = false);
+
+  /// True if `--name` appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed accessors with defaults.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& name, double fallback) const;
+  [[nodiscard]] long long get(const std::string& name,
+                              long long fallback) const;
+  [[nodiscard]] std::size_t get(const std::string& name,
+                                std::size_t fallback) const;
+  [[nodiscard]] bool get(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;  // name -> value ("" = bare)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ftl::util

@@ -1,0 +1,32 @@
+// Lightweight always-on assertion used across the library.
+//
+// We keep assertions enabled in release builds: the simulators in this
+// repository are research instruments, and a silently-violated invariant
+// (a non-normalised state, a negative queue length) invalidates every number
+// downstream. The cost of the checks is negligible next to the simulations
+// themselves.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftl::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "ftl assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace ftl::util
+
+#define FTL_ASSERT(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) ::ftl::util::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define FTL_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) ::ftl::util::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

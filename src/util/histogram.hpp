@@ -1,0 +1,40 @@
+// Fixed-bin histogram for latency/queue-length distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ftl::util {
+
+/// Uniform-bin histogram over [lo, hi); samples outside are clamped into the
+/// first/last bin and counted in underflow/overflow tallies.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] const std::vector<std::size_t>& counts() const { return counts_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Approximate quantile from binned data (midpoint interpolation).
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Renders a small ASCII bar chart, useful in example binaries.
+  [[nodiscard]] std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace ftl::util

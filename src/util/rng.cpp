@@ -1,0 +1,53 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace ftl::util {
+
+double Rng::exponential(double lambda) {
+  FTL_ASSERT(lambda > 0.0);
+  // -log(1 - U) with U in [0,1) avoids log(0).
+  return -std::log1p(-uniform()) / lambda;
+}
+
+double Rng::normal() {
+  // Marsaglia polar method; discards the second variate for simplicity.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  FTL_ASSERT(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion, numerically safe for small means.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // For large means, split recursively: Poisson(m) = Poisson(m/2) +
+  // Poisson(m - m/2). Depth is logarithmic; each leaf uses inversion.
+  const double half = mean / 2.0;
+  return poisson(half) + poisson(mean - half);
+}
+
+std::pair<std::size_t, std::size_t> Rng::distinct_pair(std::size_t n) {
+  FTL_ASSERT(n >= 2);
+  const std::size_t a = uniform_int(n);
+  std::size_t b = uniform_int(n - 1);
+  if (b >= a) ++b;
+  return {a, b};
+}
+
+}  // namespace ftl::util

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace ftl::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FTL_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  FTL_ASSERT_MSG(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision_,
+                std::get<double>(c));
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(render_cell(row[i]));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << cells[i];
+      os << std::string(widths[i] - cells[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& r : rendered) print_row(r);
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  FTL_ASSERT_MSG(f.good(), "could not open CSV output file");
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    f << headers_[i] << (i + 1 < headers_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      f << render_cell(row[i]) << (i + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+}  // namespace ftl::util

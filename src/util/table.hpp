@@ -1,0 +1,45 @@
+// Plain-text table and CSV emission for benchmark harnesses.
+//
+// Every figure-reproduction bench prints a human-readable aligned table to
+// stdout (captured into bench_output.txt) and can optionally mirror the same
+// rows to a CSV file for plotting.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ftl::util {
+
+/// A cell is either text or a number (numbers get fixed formatting).
+using Cell = std::variant<std::string, double, long long>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> cells);
+
+  /// Number of decimal places used when printing doubles (default 4).
+  void set_precision(int digits) { precision_ = digits; }
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Writes headers + rows as CSV.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  [[nodiscard]] std::string render_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace ftl::util

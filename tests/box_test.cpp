@@ -1,0 +1,125 @@
+#include "games/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "games/chsh.hpp"
+
+namespace ftl::games {
+namespace {
+
+constexpr double kTsirelson = 2.8284271247461903;  // 2*sqrt(2)
+
+TEST(Box, UniformIsValidAndLocal) {
+  const CorrelationBox box = CorrelationBox::uniform();
+  EXPECT_TRUE(box.is_valid());
+  EXPECT_NEAR(box.no_signaling_violation(), 0.0, 1e-12);
+  EXPECT_NEAR(box.chsh_value(), 0.0, 1e-12);
+  EXPECT_TRUE(box.is_local_admissible());
+}
+
+TEST(Box, DeterministicBoxesAreLocal) {
+  for (int a0 = 0; a0 < 2; ++a0) {
+    for (int a1 = 0; a1 < 2; ++a1) {
+      for (int b0 = 0; b0 < 2; ++b0) {
+        for (int b1 = 0; b1 < 2; ++b1) {
+          const auto box = CorrelationBox::local_deterministic(a0, a1, b0, b1);
+          EXPECT_TRUE(box.is_valid());
+          EXPECT_NEAR(box.no_signaling_violation(), 0.0, 1e-12);
+          EXPECT_TRUE(box.is_local_admissible());
+          EXPECT_TRUE(box.is_quantum_admissible());
+        }
+      }
+    }
+  }
+}
+
+TEST(Box, DeterministicChshValueIsExactlyTwo) {
+  // a = b = 0 achieves the local maximum S = 2.
+  const auto box = CorrelationBox::local_deterministic(0, 0, 0, 0);
+  EXPECT_NEAR(box.chsh_value(), 2.0, 1e-12);
+}
+
+TEST(Box, QuantumBoxHitsTsirelsonExactly) {
+  const auto box = CorrelationBox::from_strategy(
+      chsh_quantum_strategy(chsh_optimal_angles()));
+  EXPECT_TRUE(box.is_valid());
+  EXPECT_NEAR(box.no_signaling_violation(), 0.0, 1e-10);
+  EXPECT_NEAR(box.chsh_value(), kTsirelson, 1e-9);
+  EXPECT_FALSE(box.is_local_admissible());
+  EXPECT_TRUE(box.is_quantum_admissible(1e-8));
+}
+
+TEST(Box, PrBoxIsNoSignalingButSuperQuantum) {
+  // §2's hierarchy, pinned down: the PR box respects causality (perfectly
+  // no-signaling) yet exceeds what quantum mechanics allows.
+  const auto box = CorrelationBox::pr_box();
+  EXPECT_TRUE(box.is_valid());
+  EXPECT_NEAR(box.no_signaling_violation(), 0.0, 1e-12);
+  EXPECT_NEAR(box.chsh_value(), 4.0, 1e-12);
+  EXPECT_FALSE(box.is_local_admissible());
+  EXPECT_FALSE(box.is_quantum_admissible());
+}
+
+TEST(Box, PrBoxWinsChshAlways) {
+  EXPECT_NEAR(CorrelationBox::pr_box().game_value(chsh_game()), 1.0, 1e-12);
+}
+
+TEST(Box, GameValueMatchesStrategyValue) {
+  const QuantumStrategy s = chsh_quantum_strategy(chsh_optimal_angles());
+  const auto box = CorrelationBox::from_strategy(s);
+  EXPECT_NEAR(box.game_value(chsh_game()), s.value(chsh_game()), 1e-10);
+}
+
+TEST(Box, NoisyStrategyBoxDegradesGracefully) {
+  const auto box = CorrelationBox::from_strategy(
+      chsh_quantum_strategy(chsh_optimal_angles(), false, 0.8));
+  EXPECT_NEAR(box.chsh_value(), kTsirelson * 0.8, 1e-9);
+  EXPECT_FALSE(box.is_local_admissible());
+}
+
+TEST(Box, VisibilityThresholdForLocality) {
+  // Werner boxes become CHSH-local exactly at v = 1/sqrt2.
+  const auto above = CorrelationBox::from_strategy(
+      chsh_quantum_strategy(chsh_optimal_angles(), false, 0.72));
+  const auto below = CorrelationBox::from_strategy(
+      chsh_quantum_strategy(chsh_optimal_angles(), false, 0.70));
+  EXPECT_FALSE(above.is_local_admissible());
+  EXPECT_TRUE(below.is_local_admissible());
+}
+
+TEST(Box, MixingPrWithUniformCrossesBoundaries) {
+  const auto pr = CorrelationBox::pr_box();
+  const auto noise = CorrelationBox::uniform();
+  // S(lambda) = 4*lambda: local for lambda <= 1/2, quantum-admissible for
+  // lambda <= 1/sqrt2.
+  EXPECT_TRUE(pr.mix(noise, 0.45).is_local_admissible());
+  EXPECT_FALSE(pr.mix(noise, 0.55).is_local_admissible());
+  EXPECT_TRUE(pr.mix(noise, 0.70).is_quantum_admissible());
+  EXPECT_FALSE(pr.mix(noise, 0.75).is_quantum_admissible());
+  EXPECT_TRUE(pr.mix(noise, 0.5).is_valid());
+}
+
+TEST(Box, MarginalsOfQuantumBoxAreUniform) {
+  const auto box = CorrelationBox::from_strategy(
+      chsh_quantum_strategy(chsh_optimal_angles()));
+  for (int x = 0; x < 2; ++x) {
+    EXPECT_NEAR(box.alice_marginal(x, 0), 0.5, 1e-10);
+  }
+}
+
+TEST(Box, SignalingBoxIsDetected) {
+  // b copies x: blatantly signaling.
+  CorrelationBox box;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      box.set(x, y, 0, x, 1.0);
+    }
+  }
+  EXPECT_TRUE(box.is_valid());
+  EXPECT_GT(box.no_signaling_violation(), 0.9);
+}
+
+}  // namespace
+}  // namespace ftl::games

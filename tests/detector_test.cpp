@@ -1,0 +1,86 @@
+#include "qnet/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/correlated_pair.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::qnet {
+namespace {
+
+TEST(Detector, PerfectDetectorsGiveIdealValue) {
+  EXPECT_NEAR(chsh_win_with_detectors(1.0, 1.0),
+              0.5 * (1.0 + 1.0 / std::sqrt(2.0)), 1e-12);
+}
+
+TEST(Detector, ZeroEfficiencyIsClassical) {
+  EXPECT_NEAR(chsh_win_with_detectors(0.0, 1.0), 0.75, 1e-12);
+}
+
+TEST(Detector, OneSidedFailureRegimeDipsBelowClassical) {
+  // Mid efficiencies are WORSE than not deploying quantum at all.
+  EXPECT_LT(chsh_win_with_detectors(0.5, 1.0), 0.75);
+  EXPECT_LT(chsh_win_with_detectors(0.7, 1.0), 0.75);
+}
+
+TEST(Detector, BreakevenForIdealPairs) {
+  // Quadratic root: eta* = 0.5 / (w_q - 0.25) with w_q = cos^2(pi/8).
+  const double w_q = 0.5 * (1.0 + 1.0 / std::sqrt(2.0));
+  const double expect = 0.5 / (w_q - 0.25);
+  EXPECT_NEAR(breakeven_efficiency(1.0), expect, 1e-9);
+  EXPECT_NEAR(expect, 0.8284, 5e-4);
+}
+
+TEST(Detector, BreakevenRisesAsVisibilityFalls) {
+  EXPECT_GT(breakeven_efficiency(0.85), breakeven_efficiency(1.0));
+  // At the visibility threshold there is no efficiency that works.
+  EXPECT_DOUBLE_EQ(breakeven_efficiency(1.0 / std::sqrt(2.0)), 0.0);
+}
+
+TEST(Detector, AboveBreakevenBeatsClassical) {
+  const double eta = breakeven_efficiency(1.0);
+  EXPECT_GT(chsh_win_with_detectors(eta + 0.01, 1.0), 0.75);
+  EXPECT_LT(chsh_win_with_detectors(eta - 0.01, 1.0), 0.75);
+}
+
+TEST(Detector, CorrelatedPairMatchesClosedForm) {
+  for (double eta : {1.0, 0.9, 0.7}) {
+    core::PairConfig cfg;
+    cfg.backend = core::Backend::kQuantum;
+    cfg.visibility = 1.0;
+    cfg.detector_efficiency = eta;
+    cfg.seed = 77;
+    core::CorrelatedPair pair(cfg);
+    util::Rng rng(78);
+    const int rounds = 40000;
+    for (int i = 0; i < rounds; ++i) {
+      (void)pair.decide(0, rng.bernoulli(0.5) ? 1 : 0);
+      (void)pair.decide(1, rng.bernoulli(0.5) ? 1 : 0);
+    }
+    const double win = static_cast<double>(pair.stats().wins) /
+                       static_cast<double>(pair.stats().rounds);
+    EXPECT_NEAR(win, chsh_win_with_detectors(eta, 1.0), 0.01)
+        << "eta=" << eta;
+  }
+}
+
+TEST(Detector, LowEfficiencyEndToEndIsWorseThanClassical) {
+  core::PairConfig cfg;
+  cfg.backend = core::Backend::kQuantum;
+  cfg.detector_efficiency = 0.6;
+  cfg.seed = 79;
+  core::CorrelatedPair pair(cfg);
+  util::Rng rng(80);
+  for (int i = 0; i < 30000; ++i) {
+    (void)pair.decide(0, rng.bernoulli(0.5) ? 1 : 0);
+    (void)pair.decide(1, rng.bernoulli(0.5) ? 1 : 0);
+  }
+  const double win = static_cast<double>(pair.stats().wins) /
+                     static_cast<double>(pair.stats().rounds);
+  EXPECT_LT(win, 0.75);
+}
+
+}  // namespace
+}  // namespace ftl::qnet

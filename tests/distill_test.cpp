@@ -1,0 +1,137 @@
+#include "qnet/distill.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcore/channels.hpp"
+
+namespace ftl::qnet {
+namespace {
+
+/// Werner visibility for a given Bell fidelity: v = (4F - 1) / 3.
+double visibility_of(double fidelity) { return (4.0 * fidelity - 1.0) / 3.0; }
+
+TEST(Distill, SimulationMatchesClosedFormOnWerner) {
+  for (double f : {0.55, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    const auto w = qcore::Density::werner(visibility_of(f));
+    const DistillResult r = bbpssw_round(w, w);
+    EXPECT_NEAR(r.success_probability, werner_distill_success(f), 1e-10)
+        << "f=" << f;
+    EXPECT_NEAR(r.fidelity, werner_distilled_fidelity(f), 1e-10) << "f=" << f;
+  }
+}
+
+TEST(Distill, ImprovesFidelityAboveHalf) {
+  for (double f : {0.55, 0.7, 0.85}) {
+    EXPECT_GT(werner_distilled_fidelity(f), f) << "f=" << f;
+  }
+}
+
+TEST(Distill, DoesNotImproveAtOrBelowHalf) {
+  EXPECT_NEAR(werner_distilled_fidelity(0.5), 0.5, 1e-12);
+  EXPECT_LT(werner_distilled_fidelity(0.4), 0.4);
+}
+
+TEST(Distill, PerfectPairsStayPerfect) {
+  const auto bell =
+      qcore::Density::from_state(qcore::StateVec::bell_phi_plus());
+  const DistillResult r = bbpssw_round(bell, bell);
+  EXPECT_NEAR(r.fidelity, 1.0, 1e-10);
+  EXPECT_NEAR(r.success_probability, 1.0, 1e-10);
+}
+
+TEST(Distill, OutputStateIsPhysical) {
+  const auto w = qcore::Density::werner(0.6);
+  const DistillResult r = bbpssw_round(w, w);
+  EXPECT_TRUE(r.state.is_valid(1e-8));
+  EXPECT_EQ(r.state.num_qubits(), 2u);
+}
+
+TEST(Distill, AsymmetricInputsWork) {
+  // One good and one mediocre pair still distill to something sensible.
+  const auto good = qcore::Density::werner(0.95);
+  const auto poor = qcore::Density::werner(0.6);
+  const DistillResult r = bbpssw_round(good, poor);
+  EXPECT_GT(r.success_probability, 0.5);
+  EXPECT_TRUE(r.state.is_valid(1e-8));
+}
+
+TEST(Distill, BbpsswWorsensPurePhaseErrors) {
+  // Textbook pitfall: on a phase-error-only pair the coincidence test
+  // always passes (p = 1) and the errors XOR onto the kept pair, so
+  // F -> F^2 + (1 - F)^2 < F. A QNIC must not run plain BBPSSW on
+  // storage-dephased pairs.
+  auto rho = qcore::Density::from_state(qcore::StateVec::bell_phi_plus());
+  rho.apply_channel(qcore::dephasing(0.5), 0);
+  const double before = rho.fidelity_with(qcore::StateVec::bell_phi_plus());
+  const DistillResult r = bbpssw_round(rho, rho);
+  EXPECT_NEAR(r.success_probability, 1.0, 1e-10);
+  EXPECT_NEAR(r.fidelity, before * before + (1.0 - before) * (1.0 - before),
+              1e-10);
+  EXPECT_LT(r.fidelity, before);
+}
+
+TEST(Distill, DejmpsImprovesDephasedPairs) {
+  // The DEJMPS rotation converts phase errors into detectable bit errors;
+  // storage-decohered pairs then genuinely improve.
+  auto rho = qcore::Density::from_state(qcore::StateVec::bell_phi_plus());
+  rho.apply_channel(qcore::dephasing(0.5), 0);
+  const double before = rho.fidelity_with(qcore::StateVec::bell_phi_plus());
+  const DistillResult r = dejmps_round(rho, rho);
+  EXPECT_GT(r.fidelity, before);
+  EXPECT_GT(r.success_probability, 0.5);
+  EXPECT_TRUE(r.state.is_valid(1e-8));
+}
+
+TEST(Distill, DejmpsAlsoHandlesWerner) {
+  const auto w = qcore::Density::werner(visibility_of(0.7));
+  const DistillResult r = dejmps_round(w, w);
+  EXPECT_GT(r.fidelity, 0.7);
+}
+
+TEST(Recurrence, ReachesTargetFromModerateFidelity) {
+  const RecurrenceResult r = distill_to_target(0.7, 0.9);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_GE(r.fidelity, 0.9);
+  EXPECT_GT(r.rounds, 1);
+  // Cost grows geometrically: more than 2^rounds raw pairs.
+  EXPECT_GT(r.expected_raw_pairs, std::pow(2.0, r.rounds) - 1e-9);
+}
+
+TEST(Recurrence, AlreadyAboveTargetUsesNoRounds) {
+  const RecurrenceResult r = distill_to_target(0.95, 0.9);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_EQ(r.rounds, 0);
+  EXPECT_DOUBLE_EQ(r.expected_raw_pairs, 1.0);
+}
+
+TEST(Recurrence, HopelessBelowThreshold) {
+  const RecurrenceResult r = distill_to_target(0.45, 0.9);
+  EXPECT_FALSE(r.reached_target);
+  EXPECT_EQ(r.rounds, 0);
+}
+
+TEST(Recurrence, MonotoneConvergenceTowardsOne) {
+  double f = 0.55;
+  for (int i = 0; i < 20; ++i) {
+    const double next = werner_distilled_fidelity(f);
+    EXPECT_GT(next, f);
+    f = next;
+  }
+  EXPECT_GT(f, 0.99);
+}
+
+TEST(Recurrence, EnablesChshAdvantageFromUselessSource) {
+  // A fidelity-0.7 source is useless for CHSH (needs F > ~0.78); two
+  // rounds of distillation fix that at a quantifiable pair cost.
+  const double chsh_threshold = (1.0 + 3.0 / std::sqrt(2.0)) / 4.0;
+  EXPECT_LT(0.7, chsh_threshold);
+  const RecurrenceResult r = distill_to_target(0.7, chsh_threshold);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_LE(r.rounds, 3);
+  EXPECT_LT(r.expected_raw_pairs, 100.0);
+}
+
+}  // namespace
+}  // namespace ftl::qnet

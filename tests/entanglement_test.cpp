@@ -1,0 +1,157 @@
+#include "qcore/entanglement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcore/channels.hpp"
+#include "qcore/gates.hpp"
+
+namespace ftl::qcore {
+namespace {
+
+TEST(Entropy, PureStateIsZero) {
+  EXPECT_NEAR(von_neumann_entropy(Density::from_state(StateVec::ghz(3))), 0.0,
+              1e-9);
+}
+
+TEST(Entropy, MaximallyMixedIsNumQubits) {
+  EXPECT_NEAR(von_neumann_entropy(Density::maximally_mixed(1)), 1.0, 1e-9);
+  EXPECT_NEAR(von_neumann_entropy(Density::maximally_mixed(2)), 2.0, 1e-9);
+}
+
+TEST(Entropy, WernerInterpolates) {
+  // S is 0 at v=1 and 2 bits at v=0, strictly decreasing in v.
+  double prev = 2.0 + 1e-9;
+  for (double v : {0.0, 0.3, 0.6, 0.9, 1.0}) {
+    const double s = von_neumann_entropy(Density::werner(v));
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+  EXPECT_NEAR(von_neumann_entropy(Density::werner(0.0)), 2.0, 1e-9);
+}
+
+TEST(EntanglementEntropy, BellPairIsOneBit) {
+  EXPECT_NEAR(entanglement_entropy(StateVec::bell_phi_plus(), 0), 1.0, 1e-9);
+  EXPECT_NEAR(entanglement_entropy(StateVec::bell_phi_plus(), 1), 1.0, 1e-9);
+}
+
+TEST(EntanglementEntropy, ProductStateIsZero) {
+  StateVec psi(2);
+  psi.apply1(gates::H(), 0);
+  psi.apply1(gates::Ry(0.9), 1);
+  EXPECT_NEAR(entanglement_entropy(psi, 0), 0.0, 1e-9);
+}
+
+TEST(EntanglementEntropy, GhzSingleQubitCut) {
+  // Any single qubit of GHZ(n) is maximally mixed: 1 bit across the cut.
+  EXPECT_NEAR(entanglement_entropy(StateVec::ghz(4), 2), 1.0, 1e-9);
+}
+
+TEST(EntanglementEntropy, PartiallyEntangled) {
+  // cos(t)|00> + sin(t)|11>: S = H2(cos^2 t).
+  const double t = 0.5;
+  const double c = std::cos(t);
+  const double s = std::sin(t);
+  const auto psi = StateVec::from_amplitudes(
+      {Cx{c, 0}, Cx{0, 0}, Cx{0, 0}, Cx{s, 0}});
+  const double p = c * c;
+  const double expect = -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+  EXPECT_NEAR(entanglement_entropy(psi, 0), expect, 1e-9);
+}
+
+TEST(Concurrence, BellPairIsOne) {
+  EXPECT_NEAR(concurrence(Density::from_state(StateVec::bell_phi_plus())),
+              1.0, 1e-8);
+}
+
+TEST(Concurrence, ProductStateIsZero) {
+  StateVec psi(2);
+  psi.apply1(gates::H(), 0);
+  EXPECT_NEAR(concurrence(Density::from_state(psi)), 0.0, 1e-8);
+}
+
+TEST(Concurrence, WernerClosedForm) {
+  // C(v) = max(0, (3v - 1)/2).
+  for (double v : {0.0, 0.2, 1.0 / 3.0, 0.5, 0.8, 1.0}) {
+    EXPECT_NEAR(concurrence(Density::werner(v)),
+                std::max(0.0, (3.0 * v - 1.0) / 2.0), 1e-7)
+        << "v=" << v;
+  }
+}
+
+TEST(Negativity, BellPairIsHalf) {
+  const Density bell = Density::from_state(StateVec::bell_phi_plus());
+  EXPECT_NEAR(negativity(bell, 0), 0.5, 1e-8);
+  EXPECT_NEAR(negativity(bell, 1), 0.5, 1e-8);
+}
+
+TEST(Negativity, SeparableIsZero) {
+  EXPECT_NEAR(negativity(Density::maximally_mixed(2), 0), 0.0, 1e-9);
+  // Werner states are separable iff v <= 1/3 (PPT exact for 2 qubits).
+  EXPECT_NEAR(negativity(Density::werner(0.3), 0), 0.0, 1e-9);
+  EXPECT_GT(negativity(Density::werner(0.4), 0), 1e-4);
+}
+
+TEST(Negativity, DecreasesUnderDepolarizing) {
+  Density rho = Density::from_state(StateVec::bell_phi_plus());
+  double prev = negativity(rho, 0);
+  for (int i = 0; i < 3; ++i) {
+    rho.apply_channel(depolarizing(0.2), 0);
+    const double cur = negativity(rho, 0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ChshCeiling, BellPairHitsTsirelson) {
+  EXPECT_NEAR(chsh_ceiling(Density::from_state(StateVec::bell_phi_plus())),
+              2.0 * std::sqrt(2.0), 1e-8);
+}
+
+TEST(ChshCeiling, WernerScalesLinearly) {
+  // Horodecki: ceiling = 2*sqrt(2)*v for Werner states.
+  for (double v : {0.5, 0.7071, 0.9}) {
+    EXPECT_NEAR(chsh_ceiling(Density::werner(v)), 2.0 * std::sqrt(2.0) * v,
+                1e-6)
+        << "v=" << v;
+  }
+}
+
+TEST(ChshCeiling, AdvantageThresholdMatchesVisibility) {
+  // Ceiling > 2 (classical bound) iff v > 1/sqrt2 — the same threshold the
+  // win-probability analysis gives. Two independent criteria agreeing.
+  EXPECT_GT(chsh_ceiling(Density::werner(0.72)), 2.0);
+  EXPECT_LT(chsh_ceiling(Density::werner(0.70)), 2.0);
+}
+
+TEST(ChshCeiling, ProductStateAtMostTwo) {
+  StateVec psi(2);
+  psi.apply1(gates::Ry(0.8), 0);
+  psi.apply1(gates::Ry(2.1), 1);
+  EXPECT_LE(chsh_ceiling(Density::from_state(psi)), 2.0 + 1e-9);
+}
+
+TEST(ChshCeiling, ConsistentWithStorageDecoherence) {
+  // Ceiling decreases monotonically as the pair sits in memory.
+  Density rho = Density::werner(0.98);
+  double prev = chsh_ceiling(rho);
+  for (int i = 0; i < 4; ++i) {
+    rho.apply_channel(dephasing(0.3), 0);
+    const double cur = chsh_ceiling(rho);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Measures, OrderingConsistency) {
+  // All three entanglement measures agree on ordering across Werner states.
+  const Density a = Density::werner(0.9);
+  const Density b = Density::werner(0.6);
+  EXPECT_GT(concurrence(a), concurrence(b));
+  EXPECT_GT(negativity(a, 0), negativity(b, 0));
+  EXPECT_GT(chsh_ceiling(a), chsh_ceiling(b));
+}
+
+}  // namespace
+}  // namespace ftl::qcore

@@ -1,0 +1,206 @@
+#include "games/game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "games/chsh.hpp"
+#include "games/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::games {
+namespace {
+
+const double kChshQuantum = std::cos(M_PI / 8.0) * std::cos(M_PI / 8.0);
+
+TEST(TwoPartyGame, UniformInputsSumToOne) {
+  const auto pi = TwoPartyGame::uniform_inputs(3, 4);
+  double total = 0.0;
+  for (const auto& row : pi) {
+    for (double p : row) total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TwoPartyGame, DeterministicValueOfChsh) {
+  const TwoPartyGame g = chsh_game();
+  // a = b = 0 wins unless x = y = 1.
+  EXPECT_NEAR(g.deterministic_value({0, 0}, {0, 0}), 0.75, 1e-12);
+  // a = x, b = 0: wins on (0,0),(0,1) [a^b=0, xy=0 ok], loses (1,0)
+  // [a^b=1, xy=0], wins (1,1) [a^b=1 = xy].
+  EXPECT_NEAR(g.deterministic_value({0, 1}, {0, 0}), 0.75, 1e-12);
+}
+
+TEST(ClassicalValue, ChshIsThreeQuarters) {
+  const ClassicalOptimum opt = classical_value(chsh_game());
+  EXPECT_NEAR(opt.value, 0.75, 1e-12);
+}
+
+TEST(ClassicalValue, FlippedChshIsThreeQuarters) {
+  EXPECT_NEAR(classical_value(chsh_game(true)).value, 0.75, 1e-12);
+}
+
+TEST(ClassicalValue, WitnessesAreConsistent) {
+  const TwoPartyGame g = chsh_game();
+  const ClassicalOptimum opt = classical_value(g);
+  EXPECT_NEAR(g.deterministic_value(opt.alice, opt.bob), opt.value, 1e-12);
+}
+
+TEST(ClassicalValue, TrivialAlwaysWinGame) {
+  // Win predicate true everywhere.
+  std::vector<std::vector<std::vector<std::vector<bool>>>> wins(
+      2, std::vector<std::vector<std::vector<bool>>>(
+             2, std::vector<std::vector<bool>>(2, std::vector<bool>(2, true))));
+  const TwoPartyGame g(std::move(wins), TwoPartyGame::uniform_inputs(2, 2));
+  EXPECT_NEAR(classical_value(g).value, 1.0, 1e-12);
+}
+
+TEST(ClassicalValue, ImpossibleGame) {
+  std::vector<std::vector<std::vector<std::vector<bool>>>> wins(
+      1, std::vector<std::vector<std::vector<bool>>>(
+             1, std::vector<std::vector<bool>>(2, std::vector<bool>(2, false))));
+  const TwoPartyGame g(std::move(wins), TwoPartyGame::uniform_inputs(1, 1));
+  EXPECT_NEAR(classical_value(g).value, 0.0, 1e-12);
+}
+
+TEST(StrategyValue, MatchesJointDistribution) {
+  const TwoPartyGame g = chsh_game();
+  // Uniform random outputs: win probability 1/2 on every input.
+  std::vector p(2, std::vector(2, std::vector(2, std::vector<double>(2, 0.25))));
+  EXPECT_NEAR(g.strategy_value(p), 0.5, 1e-12);
+}
+
+TEST(ChshQuantum, OptimalAnglesReachTsirelson) {
+  const QuantumStrategy s = chsh_quantum_strategy(chsh_optimal_angles());
+  EXPECT_NEAR(s.value(chsh_game()), kChshQuantum, 1e-10);
+}
+
+TEST(ChshQuantum, FlippedVariantSameValue) {
+  const QuantumStrategy s = chsh_quantum_strategy(
+      chsh_optimal_angles(), /*flip_bob_output=*/true);
+  EXPECT_NEAR(s.value(chsh_game(true)), kChshQuantum, 1e-10);
+}
+
+TEST(ChshQuantum, ClosedFormMatchesSimulator) {
+  for (double v : {1.0, 0.9, 0.5, 0.0}) {
+    const QuantumStrategy s =
+        chsh_quantum_strategy(chsh_optimal_angles(), false, v);
+    EXPECT_NEAR(s.value(chsh_game()),
+                chsh_win_probability(chsh_optimal_angles(), false, v), 1e-10)
+        << "visibility " << v;
+  }
+}
+
+TEST(ChshQuantum, SuboptimalAnglesDoWorse) {
+  const ChshAngles bad{0.0, 0.0, 0.0, 0.0};  // always same basis
+  const QuantumStrategy s = chsh_quantum_strategy(bad);
+  EXPECT_LT(s.value(chsh_game()), 0.76);
+}
+
+TEST(ChshQuantum, ZeroVisibilityIsCoinFlipping) {
+  const QuantumStrategy s =
+      chsh_quantum_strategy(chsh_optimal_angles(), false, 0.0);
+  EXPECT_NEAR(s.value(chsh_game()), 0.5, 1e-10);
+}
+
+TEST(ChshQuantum, AdvantageThresholdVisibility) {
+  // (1 + v/sqrt2)/2 > 3/4 iff v > 1/sqrt2.
+  const double vc = 1.0 / std::sqrt(2.0);
+  EXPECT_GT(chsh_quantum_strategy(chsh_optimal_angles(), false, vc + 0.02)
+                .value(chsh_game()),
+            0.75);
+  EXPECT_LT(chsh_quantum_strategy(chsh_optimal_angles(), false, vc - 0.02)
+                .value(chsh_game()),
+            0.75);
+}
+
+TEST(ChshQuantum, JointProbabilitiesSumToOne) {
+  const QuantumStrategy s = chsh_quantum_strategy(chsh_optimal_angles());
+  for (std::size_t x = 0; x < 2; ++x) {
+    for (std::size_t y = 0; y < 2; ++y) {
+      double total = 0.0;
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) total += s.joint_probability(x, y, a, b);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-10);
+    }
+  }
+}
+
+// ---- no-signaling property sweep -------------------------------------------
+
+struct NsCase {
+  double visibility;
+  bool flip;
+};
+
+class NoSignaling : public ::testing::TestWithParam<NsCase> {};
+
+TEST_P(NoSignaling, MarginalsIndependentOfRemoteInput) {
+  const auto [v, flip] = GetParam();
+  const QuantumStrategy s =
+      chsh_quantum_strategy(chsh_optimal_angles(), flip, v);
+  for (std::size_t x = 0; x < 2; ++x) {
+    for (int a = 0; a < 2; ++a) {
+      EXPECT_NEAR(s.alice_marginal(x, 0, a), s.alice_marginal(x, 1, a), 1e-10);
+    }
+  }
+  for (std::size_t y = 0; y < 2; ++y) {
+    for (int b = 0; b < 2; ++b) {
+      EXPECT_NEAR(s.bob_marginal(0, y, b), s.bob_marginal(1, y, b), 1e-10);
+    }
+  }
+}
+
+TEST_P(NoSignaling, MarginalsAreUniform) {
+  // §2: "each party still outputs 0 or 1 with equal probability".
+  const auto [v, flip] = GetParam();
+  const QuantumStrategy s =
+      chsh_quantum_strategy(chsh_optimal_angles(), flip, v);
+  for (std::size_t x = 0; x < 2; ++x) {
+    EXPECT_NEAR(s.alice_marginal(x, 0, 0), 0.5, 1e-10);
+  }
+  for (std::size_t y = 0; y < 2; ++y) {
+    EXPECT_NEAR(s.bob_marginal(0, y, 0), 0.5, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VisibilitiesAndFlips, NoSignaling,
+    ::testing::Values(NsCase{1.0, false}, NsCase{1.0, true},
+                      NsCase{0.8, false}, NsCase{0.8, true},
+                      NsCase{0.3, false}, NsCase{0.0, true}));
+
+TEST(Play, SampledWinRateMatchesExactValue) {
+  const QuantumStrategy s = chsh_quantum_strategy(chsh_optimal_angles());
+  const TwoPartyGame g = chsh_game();
+  util::Rng rng(11);
+  int wins = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t x = rng.uniform_int(2);
+    const std::size_t y = rng.uniform_int(2);
+    const auto [a, b] = s.play(x, y, rng);
+    if (g.wins(x, y, static_cast<std::size_t>(a), static_cast<std::size_t>(b)))
+      ++wins;
+  }
+  EXPECT_NEAR(static_cast<double>(wins) / n, kChshQuantum, 0.01);
+}
+
+TEST(Correlator, BellPairRealBases) {
+  // E(x, y) = cos 2(theta_x - theta_y) for an ideal Bell pair.
+  const ChshAngles a = chsh_optimal_angles();
+  const QuantumStrategy s = chsh_quantum_strategy(a);
+  EXPECT_NEAR(s.correlator(0, 0), std::cos(2.0 * (a.alice0 - a.bob0)), 1e-10);
+  EXPECT_NEAR(s.correlator(1, 1), std::cos(2.0 * (a.alice1 - a.bob1)), 1e-10);
+}
+
+TEST(Correlator, ChshCombinationHitsTsirelsonBound) {
+  const QuantumStrategy s = chsh_quantum_strategy(chsh_optimal_angles());
+  const double chsh = s.correlator(0, 0) + s.correlator(0, 1) +
+                      s.correlator(1, 0) - s.correlator(1, 1);
+  EXPECT_NEAR(chsh, 2.0 * std::sqrt(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace ftl::games

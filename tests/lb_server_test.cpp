@@ -1,0 +1,141 @@
+#include "lb/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftl::lb {
+namespace {
+
+Request make(TaskType t, std::size_t balancer = 0, long step = 0) {
+  return Request{t, balancer, step};
+}
+
+TEST(Server, EmptyServesNothing) {
+  Server s;
+  EXPECT_TRUE(s.step(ServicePolicy::kPaperCFirst).empty());
+  EXPECT_EQ(s.queue_length(), 0u);
+}
+
+TEST(Server, QueuedOfCounts) {
+  Server s;
+  s.enqueue(make(TaskType::kC));
+  s.enqueue(make(TaskType::kE));
+  s.enqueue(make(TaskType::kC));
+  EXPECT_EQ(s.queued_of(TaskType::kC), 2u);
+  EXPECT_EQ(s.queued_of(TaskType::kE), 1u);
+  EXPECT_EQ(s.queue_length(), 3u);
+}
+
+TEST(PaperCFirst, ServesTwoCsTogether) {
+  Server s;
+  s.enqueue(make(TaskType::kC, 1));
+  s.enqueue(make(TaskType::kC, 2));
+  s.enqueue(make(TaskType::kC, 3));
+  const auto served = s.step(ServicePolicy::kPaperCFirst);
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_EQ(served[0].balancer, 1u);
+  EXPECT_EQ(served[1].balancer, 2u);
+  EXPECT_EQ(s.queue_length(), 1u);
+}
+
+TEST(PaperCFirst, SingleCServedAlone) {
+  Server s;
+  s.enqueue(make(TaskType::kC));
+  const auto served = s.step(ServicePolicy::kPaperCFirst);
+  EXPECT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0].type, TaskType::kC);
+}
+
+TEST(PaperCFirst, CPairSkipsInterveningE) {
+  // C requests pair up even across an E in between; the E waits.
+  Server s;
+  s.enqueue(make(TaskType::kC, 1));
+  s.enqueue(make(TaskType::kE, 2));
+  s.enqueue(make(TaskType::kC, 3));
+  const auto served = s.step(ServicePolicy::kPaperCFirst);
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_EQ(served[0].balancer, 1u);
+  EXPECT_EQ(served[1].balancer, 3u);
+  EXPECT_EQ(s.queued_of(TaskType::kE), 1u);
+}
+
+TEST(PaperCFirst, EServedOnlyWhenNoC) {
+  Server s;
+  s.enqueue(make(TaskType::kE, 1));
+  s.enqueue(make(TaskType::kE, 2));
+  const auto served = s.step(ServicePolicy::kPaperCFirst);
+  ASSERT_EQ(served.size(), 1u);  // E is exclusive: one per step
+  EXPECT_EQ(served[0].balancer, 1u);
+  EXPECT_EQ(s.queue_length(), 1u);
+}
+
+TEST(PaperCFirst, CPriorityStarvesE) {
+  Server s;
+  s.enqueue(make(TaskType::kE, 9));
+  s.enqueue(make(TaskType::kC, 1));
+  const auto served = s.step(ServicePolicy::kPaperCFirst);
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0].type, TaskType::kC);
+}
+
+TEST(FifoPair, HeadEBlocksCs) {
+  Server s;
+  s.enqueue(make(TaskType::kE, 1));
+  s.enqueue(make(TaskType::kC, 2));
+  s.enqueue(make(TaskType::kC, 3));
+  const auto served = s.step(ServicePolicy::kFifoPair);
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0].balancer, 1u);
+}
+
+TEST(FifoPair, HeadCPairsWithLaterC) {
+  Server s;
+  s.enqueue(make(TaskType::kC, 1));
+  s.enqueue(make(TaskType::kE, 2));
+  s.enqueue(make(TaskType::kC, 3));
+  const auto served = s.step(ServicePolicy::kFifoPair);
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_EQ(served[0].balancer, 1u);
+  EXPECT_EQ(served[1].balancer, 3u);
+}
+
+TEST(EFirst, PrefersE) {
+  Server s;
+  s.enqueue(make(TaskType::kC, 1));
+  s.enqueue(make(TaskType::kE, 2));
+  const auto served = s.step(ServicePolicy::kEFirst);
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0].type, TaskType::kE);
+}
+
+TEST(EFirst, PairsCsWhenNoE) {
+  Server s;
+  s.enqueue(make(TaskType::kC, 1));
+  s.enqueue(make(TaskType::kC, 2));
+  EXPECT_EQ(s.step(ServicePolicy::kEFirst).size(), 2u);
+}
+
+TEST(Server, DrainsCompletely) {
+  for (auto policy : {ServicePolicy::kPaperCFirst, ServicePolicy::kFifoPair,
+                      ServicePolicy::kEFirst}) {
+    Server s;
+    for (int i = 0; i < 10; ++i) {
+      s.enqueue(make(i % 3 == 0 ? TaskType::kE : TaskType::kC));
+    }
+    int steps = 0;
+    while (s.queue_length() > 0 && steps < 100) {
+      ASSERT_FALSE(s.step(policy).empty()) << to_string(policy);
+      ++steps;
+    }
+    EXPECT_EQ(s.queue_length(), 0u) << to_string(policy);
+    EXPECT_LE(steps, 10);
+  }
+}
+
+TEST(Server, ToStringNames) {
+  EXPECT_STREQ(to_string(ServicePolicy::kPaperCFirst), "paper-c-first");
+  EXPECT_STREQ(to_string(ServicePolicy::kFifoPair), "fifo-pair");
+  EXPECT_STREQ(to_string(ServicePolicy::kEFirst), "e-first");
+}
+
+}  // namespace
+}  // namespace ftl::lb

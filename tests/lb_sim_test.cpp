@@ -1,0 +1,171 @@
+#include "lb/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "correlate/decision_source.hpp"
+
+namespace ftl::lb {
+namespace {
+
+LbConfig small_config() {
+  LbConfig cfg;
+  cfg.num_balancers = 20;
+  cfg.num_servers = 20;
+  cfg.warmup_steps = 200;
+  cfg.measure_steps = 800;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(LbSim, ConservationOfRequests) {
+  LbConfig cfg = small_config();
+  RandomStrategy strat;
+  const LbResult r = run_lb_sim(cfg, strat);
+  // Everything that arrived during measurement was served or is queued.
+  EXPECT_EQ(r.arrived, r.served + r.still_queued);
+  EXPECT_EQ(r.arrived, static_cast<long long>(cfg.num_balancers) *
+                           cfg.measure_steps);
+}
+
+TEST(LbSim, LowLoadHasTinyQueues) {
+  LbConfig cfg = small_config();
+  cfg.num_balancers = 10;
+  cfg.num_servers = 40;  // load 0.25
+  RandomStrategy strat;
+  const LbResult r = run_lb_sim(cfg, strat);
+  EXPECT_LT(r.mean_queue_length, 0.5);
+  EXPECT_LT(r.mean_delay, 1.5);
+}
+
+TEST(LbSim, OverloadGrowsQueues) {
+  LbConfig cfg = small_config();
+  cfg.num_balancers = 60;
+  cfg.num_servers = 20;  // load 3.0: far beyond capacity
+  RandomStrategy strat;
+  const LbResult r = run_lb_sim(cfg, strat);
+  EXPECT_GT(r.mean_queue_length, 10.0);
+}
+
+TEST(LbSim, ThroughputBoundedByCapacity) {
+  LbConfig cfg = small_config();
+  RandomStrategy strat;
+  const LbResult r = run_lb_sim(cfg, strat);
+  // A server can serve at most 2 requests per step.
+  EXPECT_LE(r.throughput, 2.0 + 1e-9);
+  EXPECT_GT(r.throughput, 0.0);
+}
+
+TEST(LbSim, DeterministicForSeed) {
+  LbConfig cfg = small_config();
+  RandomStrategy s1;
+  RandomStrategy s2;
+  const LbResult a = run_lb_sim(cfg, s1);
+  const LbResult b = run_lb_sim(cfg, s2);
+  EXPECT_DOUBLE_EQ(a.mean_queue_length, b.mean_queue_length);
+  EXPECT_EQ(a.served, b.served);
+}
+
+TEST(LbSim, SeedChangesRealisation) {
+  LbConfig cfg = small_config();
+  RandomStrategy s1;
+  const LbResult a = run_lb_sim(cfg, s1);
+  cfg.seed = 43;
+  RandomStrategy s2;
+  const LbResult b = run_lb_sim(cfg, s2);
+  EXPECT_NE(a.mean_queue_length, b.mean_queue_length);
+}
+
+TEST(LbSim, PureCWorkloadBenefitsFromPairService) {
+  // With only type-C tasks, capacity is 2/step; load 1.5 is stable.
+  LbConfig cfg = small_config();
+  cfg.num_balancers = 30;
+  cfg.num_servers = 20;
+  cfg.p_colocate = 1.0;
+  RandomStrategy strat;
+  const LbResult r = run_lb_sim(cfg, strat);
+  EXPECT_LT(r.mean_queue_length, 5.0);
+}
+
+TEST(LbSim, PureEWorkloadSaturatesAtLoadOne) {
+  LbConfig cfg = small_config();
+  cfg.num_balancers = 30;
+  cfg.num_servers = 20;  // load 1.5 of E-only: unstable
+  cfg.p_colocate = 0.0;
+  RandomStrategy strat;
+  const LbResult r = run_lb_sim(cfg, strat);
+  EXPECT_GT(r.mean_queue_length, 20.0);
+}
+
+TEST(LbSim, QuantumBeatsClassicalAtModerateLoad) {
+  // The Figure-4 claim at a single load point, with tight seed control.
+  LbConfig cfg;
+  cfg.num_balancers = 100;
+  cfg.num_servers = 72;  // load ~1.39, near the classical knee
+  cfg.warmup_steps = 500;
+  cfg.measure_steps = 3000;
+  cfg.seed = 7;
+
+  PairedStrategy classical(std::make_unique<correlate::ClassicalChshSource>());
+  PairedStrategy quantum(std::make_unique<correlate::ChshSource>(1.0));
+  const LbResult rc = run_lb_sim(cfg, classical);
+  const LbResult rq = run_lb_sim(cfg, quantum);
+  EXPECT_LT(rq.mean_queue_length, rc.mean_queue_length);
+}
+
+TEST(LbSim, OmniscientIsBestPairedStrategy) {
+  LbConfig cfg;
+  cfg.num_balancers = 60;
+  cfg.num_servers = 44;
+  cfg.warmup_steps = 300;
+  cfg.measure_steps = 2000;
+  cfg.seed = 11;
+
+  PairedStrategy quantum(std::make_unique<correlate::ChshSource>(1.0));
+  PairedStrategy omni(std::make_unique<correlate::OmniscientOracleSource>());
+  const LbResult rq = run_lb_sim(cfg, quantum);
+  const LbResult ro = run_lb_sim(cfg, omni);
+  EXPECT_LE(ro.mean_queue_length, rq.mean_queue_length + 0.05);
+}
+
+TEST(LbSim, DelayMetricsConsistent) {
+  LbConfig cfg = small_config();
+  RandomStrategy strat;
+  const LbResult r = run_lb_sim(cfg, strat);
+  EXPECT_GE(r.p95_delay, r.mean_delay - 1e-9);
+  EXPECT_GE(r.mean_delay, 0.0);
+  // Mean delay is a mixture of the two per-type means.
+  EXPECT_GE(r.mean_delay, std::min(r.mean_delay_c, r.mean_delay_e) - 1e-9);
+  EXPECT_LE(r.mean_delay, std::max(r.mean_delay_c, r.mean_delay_e) + 1e-9);
+}
+
+TEST(LbSim, ServicePolicyVariantsRun) {
+  for (auto policy : {ServicePolicy::kPaperCFirst, ServicePolicy::kFifoPair,
+                      ServicePolicy::kEFirst}) {
+    LbConfig cfg = small_config();
+    cfg.policy = policy;
+    RandomStrategy strat;
+    const LbResult r = run_lb_sim(cfg, strat);
+    EXPECT_EQ(r.arrived, r.served + r.still_queued) << to_string(policy);
+  }
+}
+
+TEST(LbSim, BatchSizeMultipliesArrivals) {
+  LbConfig cfg = small_config();
+  cfg.batch_size = 3;
+  LocalBatchingStrategy strat;
+  const LbResult r = run_lb_sim(cfg, strat);
+  EXPECT_EQ(r.arrived, static_cast<long long>(cfg.num_balancers) * 3 *
+                           cfg.measure_steps);
+}
+
+TEST(LbSim, LoadHelper) {
+  LbConfig cfg;
+  cfg.num_balancers = 100;
+  cfg.num_servers = 50;
+  EXPECT_DOUBLE_EQ(cfg.load(), 2.0);
+  cfg.batch_size = 2;
+  EXPECT_DOUBLE_EQ(cfg.load(), 4.0);
+}
+
+}  // namespace
+}  // namespace ftl::lb

@@ -1,0 +1,205 @@
+#include "lb/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace ftl::lb {
+namespace {
+
+std::vector<std::vector<TaskType>> uniform_types(std::size_t n,
+                                                 std::size_t batch,
+                                                 util::Rng& rng) {
+  std::vector<std::vector<TaskType>> t(n, std::vector<TaskType>(batch));
+  for (auto& row : t) {
+    for (auto& x : row) {
+      x = rng.bernoulli(0.5) ? TaskType::kC : TaskType::kE;
+    }
+  }
+  return t;
+}
+
+void expect_valid(const std::vector<std::vector<std::size_t>>& out,
+                  std::size_t num_servers) {
+  for (const auto& row : out) {
+    for (std::size_t s : row) EXPECT_LT(s, num_servers);
+  }
+}
+
+TEST(RandomStrategy, ProducesValidServers) {
+  RandomStrategy strat;
+  util::Rng rng(1);
+  const auto types = uniform_types(10, 2, rng);
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> q(7, 0);
+  strat.assign(types, out, ClusterView{7, &q}, rng);
+  ASSERT_EQ(out.size(), 10u);
+  ASSERT_EQ(out[0].size(), 2u);
+  expect_valid(out, 7);
+}
+
+TEST(RandomStrategy, CoversAllServers) {
+  RandomStrategy strat;
+  util::Rng rng(2);
+  std::set<std::size_t> seen;
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> q(5, 0);
+  for (int i = 0; i < 200; ++i) {
+    const auto types = uniform_types(4, 1, rng);
+    strat.assign(types, out, ClusterView{5, &q}, rng);
+    for (const auto& row : out) seen.insert(row[0]);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RoundRobin, CyclesThroughServers) {
+  RoundRobinStrategy strat;
+  util::Rng rng(3);
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> q(4, 0);
+  const auto types = uniform_types(1, 1, rng);
+  std::vector<std::size_t> seq;
+  for (int i = 0; i < 8; ++i) {
+    strat.assign(types, out, ClusterView{4, &q}, rng);
+    seq.push_back(out[0][0]);
+  }
+  // Consecutive assignments advance by exactly 1 mod 4.
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i], (seq[i - 1] + 1) % 4);
+  }
+}
+
+TEST(PowerOfTwo, PrefersShorterQueue) {
+  PowerOfTwoStrategy strat;
+  util::Rng rng(4);
+  std::vector<std::size_t> q{100, 100, 0, 100};  // server 2 always shortest
+  std::vector<std::vector<std::size_t>> out;
+  const auto types = uniform_types(1, 1, rng);
+  int hits = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    strat.assign(types, out, ClusterView{4, &q}, rng);
+    if (out[0][0] == 2) ++hits;
+  }
+  // Server 2 is chosen whenever probed: P = 1 - (3/4)(2/4)... = P(2 in
+  // sample of 2 of 4 distinct) = 1 - C(3,2)/C(4,2) = 1/2.
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.5, 0.04);
+}
+
+TEST(Paired, UsesOnlyTwoCandidateServersPerPair) {
+  PairedStrategy strat(std::make_unique<correlate::IndependentRandomSource>());
+  util::Rng rng(5);
+  std::vector<std::size_t> q(10, 0);
+  std::vector<std::vector<std::size_t>> out;
+  const auto types = uniform_types(6, 1, rng);
+  strat.assign(types, out, ClusterView{10, &q}, rng);
+  // Each pair's two members land on at most 2 servers.
+  for (std::size_t p = 0; p < 6; p += 2) {
+    std::set<std::size_t> servers{out[p][0], out[p + 1][0]};
+    EXPECT_LE(servers.size(), 2u);
+  }
+}
+
+TEST(Paired, OmniscientColocatesCCOnly) {
+  PairedStrategy strat(std::make_unique<correlate::OmniscientOracleSource>());
+  util::Rng rng(6);
+  std::vector<std::size_t> q(8, 0);
+  std::vector<std::vector<std::size_t>> out;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::vector<TaskType>> types{{TaskType::kC}, {TaskType::kC},
+                                             {TaskType::kC}, {TaskType::kE}};
+    strat.assign(types, out, ClusterView{8, &q}, rng);
+    EXPECT_EQ(out[0][0], out[1][0]);  // C,C colocate
+    EXPECT_NE(out[2][0], out[3][0]);  // C,E separate
+  }
+}
+
+TEST(Paired, QuantumColocationRates) {
+  PairedStrategy strat(std::make_unique<correlate::ChshSource>(1.0));
+  util::Rng rng(7);
+  std::vector<std::size_t> q(8, 0);
+  std::vector<std::vector<std::size_t>> out;
+  int cc_colocated = 0;
+  int ce_separated = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::vector<TaskType>> types{{TaskType::kC}, {TaskType::kC},
+                                             {TaskType::kC}, {TaskType::kE}};
+    strat.assign(types, out, ClusterView{8, &q}, rng);
+    if (out[0][0] == out[1][0]) ++cc_colocated;
+    if (out[2][0] != out[3][0]) ++ce_separated;
+  }
+  const double expect = 0.5 * (1.0 + 1.0 / std::sqrt(2.0));  // ~0.854
+  EXPECT_NEAR(static_cast<double>(cc_colocated) / n, expect, 0.012);
+  EXPECT_NEAR(static_cast<double>(ce_separated) / n, expect, 0.012);
+}
+
+TEST(Paired, RequiresEvenBalancers) {
+  PairedStrategy strat(std::make_unique<correlate::IndependentRandomSource>());
+  util::Rng rng(8);
+  std::vector<std::size_t> q(4, 0);
+  std::vector<std::vector<std::size_t>> out;
+  const auto types = uniform_types(3, 1, rng);
+  EXPECT_DEATH(strat.assign(types, out, ClusterView{4, &q}, rng), "even");
+}
+
+TEST(Paired, NameIncludesSource) {
+  PairedStrategy strat(std::make_unique<correlate::ChshSource>(1.0));
+  EXPECT_EQ(strat.name(), "paired(quantum-chsh)");
+}
+
+TEST(Dedicated, SeparatesTypes) {
+  DedicatedServersStrategy strat(0.5);
+  util::Rng rng(9);
+  std::vector<std::size_t> q(10, 0);
+  std::vector<std::vector<std::size_t>> out;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::vector<TaskType>> types{{TaskType::kC}, {TaskType::kE}};
+    strat.assign(types, out, ClusterView{10, &q}, rng);
+    EXPECT_LT(out[0][0], 5u);   // C goes to dedicated half
+    EXPECT_GE(out[1][0], 5u);   // E to the rest
+  }
+}
+
+TEST(Dedicated, AlwaysKeepsAtLeastOneOfEach) {
+  DedicatedServersStrategy strat(0.01);
+  util::Rng rng(10);
+  std::vector<std::size_t> q(3, 0);
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::vector<TaskType>> types{{TaskType::kC}, {TaskType::kE}};
+  strat.assign(types, out, ClusterView{3, &q}, rng);
+  EXPECT_EQ(out[0][0], 0u);
+  EXPECT_GE(out[1][0], 1u);
+}
+
+TEST(LocalBatching, AllCsOfOneBalancerColocate) {
+  LocalBatchingStrategy strat;
+  util::Rng rng(11);
+  std::vector<std::size_t> q(10, 0);
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::vector<TaskType>> types{
+      {TaskType::kC, TaskType::kC, TaskType::kE, TaskType::kC}};
+  strat.assign(types, out, ClusterView{10, &q}, rng);
+  EXPECT_EQ(out[0][0], out[0][1]);
+  EXPECT_EQ(out[0][1], out[0][3]);
+}
+
+TEST(LocalBatching, DifferentBalancersIndependent) {
+  LocalBatchingStrategy strat;
+  util::Rng rng(12);
+  std::vector<std::size_t> q(50, 0);
+  std::vector<std::vector<std::size_t>> out;
+  std::set<std::size_t> targets;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::vector<TaskType>> types{{TaskType::kC}, {TaskType::kC}};
+    strat.assign(types, out, ClusterView{50, &q}, rng);
+    targets.insert(out[0][0]);
+    targets.insert(out[1][0]);
+  }
+  EXPECT_GT(targets.size(), 10u);
+}
+
+}  // namespace
+}  // namespace ftl::lb

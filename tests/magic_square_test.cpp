@@ -1,0 +1,141 @@
+#include "games/magic_square.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qcore/gates.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::games {
+namespace {
+
+TEST(MagicSquare, ObservablesAreValidMeasurements) {
+  const MagicSquareGame game;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (int party = 0; party < 2; ++party) {
+        const auto& o = game.observable(r, c, party);
+        EXPECT_TRUE(o.is_hermitian(1e-10));
+        EXPECT_TRUE((o * o).approx_equal(qcore::CMat::identity(16), 1e-10));
+      }
+    }
+  }
+}
+
+TEST(MagicSquare, RowObservablesCommuteAndMultiplyToPlusIdentity) {
+  const MagicSquareGame game;
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto& a = game.observable(r, 0, 0);
+    const auto& b = game.observable(r, 1, 0);
+    const auto& c = game.observable(r, 2, 0);
+    EXPECT_TRUE((a * b).approx_equal(b * a, 1e-10));
+    EXPECT_TRUE((b * c).approx_equal(c * b, 1e-10));
+    EXPECT_TRUE((a * b * c).approx_equal(qcore::CMat::identity(16), 1e-10));
+  }
+}
+
+TEST(MagicSquare, ColumnObservablesMultiplyToMinusIdentity) {
+  const MagicSquareGame game;
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto& a = game.observable(0, c, 1);
+    const auto& b = game.observable(1, c, 1);
+    const auto& d = game.observable(2, c, 1);
+    EXPECT_TRUE((a * b).approx_equal(b * a, 1e-10));
+    EXPECT_TRUE(
+        (a * b * d).approx_equal(qcore::CMat::identity(16) * qcore::Cx{-1, 0},
+                                 1e-10));
+  }
+}
+
+TEST(MagicSquare, CrossPartyObservablesCommute) {
+  const MagicSquareGame game;
+  const auto& alice = game.observable(1, 2, 0);
+  const auto& bob = game.observable(2, 1, 1);
+  EXPECT_TRUE((alice * bob).approx_equal(bob * alice, 1e-10));
+}
+
+TEST(MagicSquare, SharedStateIsTwoBellPairs) {
+  const auto psi = MagicSquareGame::shared_state();
+  EXPECT_EQ(psi.num_qubits(), 4u);
+  EXPECT_NEAR(psi.norm(), 1.0, 1e-12);
+  // Tracing out Bob leaves Alice maximally mixed (2 bits of entanglement).
+  const auto rho = qcore::Density::from_state(psi);
+  const auto alice = rho.partial_trace({2, 3});
+  EXPECT_TRUE(alice.matrix().approx_equal(
+      qcore::CMat::identity(4) * qcore::Cx{0.25, 0.0}, 1e-10));
+}
+
+TEST(MagicSquare, ClassicalValueIsEightNinths) {
+  const MagicSquareGame game;
+  EXPECT_NEAR(game.classical_value(), 8.0 / 9.0, 1e-12);
+}
+
+TEST(MagicSquare, QuantumPlayAlwaysWins) {
+  const MagicSquareGame game;
+  util::Rng rng(5);
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t r = rng.uniform_int(3);
+    const std::size_t c = rng.uniform_int(3);
+    const auto result = game.play_quantum(r, c, rng);
+    EXPECT_TRUE(game.wins(r, c, result)) << "r=" << r << " c=" << c;
+  }
+}
+
+TEST(MagicSquare, ParityConstraintsAlwaysHold) {
+  const MagicSquareGame game;
+  util::Rng rng(6);
+  for (int round = 0; round < 200; ++round) {
+    const auto res = game.play_quantum(rng.uniform_int(3),
+                                       rng.uniform_int(3), rng);
+    EXPECT_EQ(res.row_entries[0] * res.row_entries[1] * res.row_entries[2],
+              +1);
+    EXPECT_EQ(res.col_entries[0] * res.col_entries[1] * res.col_entries[2],
+              -1);
+  }
+}
+
+TEST(MagicSquare, OutcomesAreUnbiased) {
+  // Individual cell entries are fair +-1 coins (no information leaks).
+  const MagicSquareGame game;
+  util::Rng rng(7);
+  int plus = 0;
+  const int rounds = 5000;
+  for (int i = 0; i < rounds; ++i) {
+    plus += game.play_quantum(0, 0, rng).row_entries[0] > 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(plus) / rounds, 0.5, 0.025);
+}
+
+TEST(MagicSquare, ObservableMeasurementProbabilities) {
+  // For the shared state, every cell observable has P(+1) = 1/2 a priori.
+  const MagicSquareGame game;
+  const auto rho = qcore::Density::from_state(MagicSquareGame::shared_state());
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(rho.observable_plus_probability(game.observable(r, c, 0)),
+                  0.5, 1e-10);
+    }
+  }
+}
+
+TEST(MeasureObservable, CollapsesRepeatably) {
+  util::Rng rng(8);
+  auto rho = qcore::Density::from_state(MagicSquareGame::shared_state());
+  const MagicSquareGame game;
+  const auto& obs = game.observable(1, 1, 0);
+  const int first = rho.measure_observable(obs, rng);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rho.measure_observable(obs, rng), first);
+  }
+}
+
+TEST(MeasureObservable, RejectsNonInvolution) {
+  auto rho = qcore::Density::maximally_mixed(1);
+  util::Rng rng(9);
+  qcore::CMat not_involution{{qcore::Cx{2, 0}, qcore::Cx{0, 0}},
+                             {qcore::Cx{0, 0}, qcore::Cx{1, 0}}};
+  EXPECT_DEATH((void)rho.measure_observable(not_involution, rng),
+               "square to the identity");
+}
+
+}  // namespace
+}  // namespace ftl::games

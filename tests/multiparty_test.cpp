@@ -1,0 +1,101 @@
+#include "games/multiparty.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ftl::games {
+namespace {
+
+TEST(GhzParityGame, InputsHaveEvenParity) {
+  const GhzParityGame g(3);
+  EXPECT_EQ(g.inputs().size(), 4u);  // 000, 011, 101, 110
+  for (const auto& in : g.inputs()) {
+    int parity = 0;
+    for (int b : in) parity ^= b;
+    EXPECT_EQ(parity, 0);
+  }
+}
+
+TEST(GhzParityGame, TargetParity) {
+  const GhzParityGame g(3);
+  EXPECT_EQ(g.target_parity({0, 0, 0}), 0);
+  EXPECT_EQ(g.target_parity({1, 1, 0}), 1);
+  EXPECT_EQ(g.target_parity({1, 0, 1}), 1);
+}
+
+TEST(GhzParityGame, WinPredicate) {
+  const GhzParityGame g(3);
+  EXPECT_TRUE(g.wins({0, 0, 0}, {0, 0, 0}));
+  EXPECT_TRUE(g.wins({0, 0, 0}, {1, 1, 0}));
+  EXPECT_FALSE(g.wins({0, 0, 0}, {1, 0, 0}));
+  EXPECT_TRUE(g.wins({1, 1, 0}, {1, 0, 0}));
+}
+
+TEST(GhzParityGame, ClassicalValueThreeParties) {
+  // Mermin: best classical strategy wins 3 of 4 inputs.
+  EXPECT_NEAR(GhzParityGame(3).classical_value(), 0.75, 1e-12);
+}
+
+TEST(GhzParityGame, ClassicalValueFourParties) {
+  // 1/2 + 2^{-ceil(n/2)} = 0.75 for n = 4.
+  EXPECT_NEAR(GhzParityGame(4).classical_value(), 0.75, 1e-12);
+}
+
+TEST(GhzParityGame, ClassicalValueFiveParties) {
+  // 1/2 + 2^{-3} = 0.625 for n = 5: the multiparty gap grows, as §2's
+  // citation [31] says.
+  EXPECT_NEAR(GhzParityGame(5).classical_value(), 0.625, 1e-12);
+}
+
+TEST(GhzParityGame, QuantumValueIsPerfect) {
+  for (std::size_t n : {3u, 4u, 5u}) {
+    EXPECT_NEAR(GhzParityGame(n).quantum_value_exact(), 1.0, 1e-10)
+        << "n=" << n;
+  }
+}
+
+TEST(GhzParityGame, SampledPlayAlwaysWins) {
+  const GhzParityGame g(3);
+  util::Rng rng(5);
+  for (int round = 0; round < 500; ++round) {
+    const auto& in = g.inputs()[rng.uniform_int(g.inputs().size())];
+    const auto out = g.play_quantum(in, rng);
+    EXPECT_TRUE(g.wins(in, out));
+  }
+}
+
+TEST(GhzParityGame, SampledPlayFourParties) {
+  const GhzParityGame g(4);
+  util::Rng rng(6);
+  for (int round = 0; round < 200; ++round) {
+    const auto& in = g.inputs()[rng.uniform_int(g.inputs().size())];
+    EXPECT_TRUE(g.wins(in, g.play_quantum(in, rng)));
+  }
+}
+
+TEST(GhzParityGame, OutputsAreUnbiased) {
+  // Each player's output is a fair coin (no information leaks).
+  const GhzParityGame g(3);
+  util::Rng rng(7);
+  int ones = 0;
+  const int rounds = 20000;
+  for (int i = 0; i < rounds; ++i) {
+    const auto out = g.play_quantum({1, 1, 0}, rng);
+    ones += out[0];
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / rounds, 0.5, 0.01);
+}
+
+TEST(GhzParityGame, QuantumBeatsClassicalStrictly) {
+  for (std::size_t n : {3u, 4u, 5u}) {
+    const GhzParityGame g(n);
+    EXPECT_GT(g.quantum_value_exact(), g.classical_value() + 0.2)
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace ftl::games

@@ -1,0 +1,123 @@
+// Property tests: Pauli-string sums against dense matrix algebra. Random
+// sums applied the fast way (bit tricks, O(2^n) per term) must match the
+// explicit kron-built matrices, and the Clifford anticommutation relations
+// the Tsirelson construction relies on must hold as matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcore/gates.hpp"
+#include "qcore/pauli.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::qcore {
+namespace {
+
+CMat pauli_of(char c) {
+  switch (c) {
+    case 'X': return gates::X();
+    case 'Y': return gates::Y();
+    case 'Z': return gates::Z();
+    default: return gates::I();
+  }
+}
+
+CMat dense_of(const PauliSum& sum) {
+  const std::size_t n = sum.num_qubits();
+  CMat total(std::size_t{1} << n, std::size_t{1} << n);
+  for (const PauliTerm& t : sum.terms()) {
+    CMat m = CMat::identity(1);
+    for (char c : t.ops) m = m.kron(pauli_of(c));
+    total += m * Cx{t.coefficient, 0.0};
+  }
+  return total;
+}
+
+StateVec random_state(std::size_t n, util::Rng& rng) {
+  std::vector<Cx> amps(std::size_t{1} << n);
+  for (Cx& a : amps) a = Cx{rng.normal(), rng.normal()};
+  normalize(amps);
+  return StateVec::from_amplitudes(std::move(amps));
+}
+
+class RandomPauliSums : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPauliSums, FastApplyMatchesDenseMatrix) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.uniform_int(3);  // 2..4 qubits
+  const char alphabet[4] = {'I', 'X', 'Y', 'Z'};
+  std::vector<PauliTerm> terms;
+  const std::size_t num_terms = 1 + rng.uniform_int(5);
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    PauliTerm term;
+    term.coefficient = rng.normal();
+    term.ops.resize(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      term.ops[q] = alphabet[rng.uniform_int(4)];
+    }
+    terms.push_back(std::move(term));
+  }
+  const PauliSum sum(terms);
+  const CMat dense = dense_of(sum);
+  const StateVec psi = random_state(n, rng);
+
+  const std::vector<Cx> fast = sum.apply(psi);
+  const std::vector<Cx> slow = dense.apply(psi.amplitudes());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(std::abs(fast[i] - slow[i]), 0.0, 1e-10) << "i=" << i;
+  }
+  // Expectation agrees with <psi| M |psi>.
+  EXPECT_NEAR(sum.expectation(psi),
+              inner(psi.amplitudes(), slow).real(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPauliSums, ::testing::Range(1, 13));
+
+TEST(JordanWigner, GammasAnticommuteAndSquareToIdentity) {
+  // The gamma strings used by games/realize: gamma_{2j} = Z^j X I...,
+  // gamma_{2j+1} = Z^j Y I..., k = 3 qubits -> 6 gammas.
+  const std::size_t k = 3;
+  std::vector<CMat> gammas;
+  for (std::size_t m = 0; m < 2 * k; ++m) {
+    const std::size_t j = m / 2;
+    std::string ops(k, 'I');
+    for (std::size_t q = 0; q < j; ++q) ops[q] = 'Z';
+    ops[j] = (m % 2 == 0) ? 'X' : 'Y';
+    gammas.push_back(dense_of(PauliSum({PauliTerm{1.0, ops}})));
+  }
+  const CMat id = CMat::identity(std::size_t{1} << k);
+  for (std::size_t a = 0; a < gammas.size(); ++a) {
+    EXPECT_TRUE((gammas[a] * gammas[a]).approx_equal(id, 1e-10)) << a;
+    for (std::size_t b = a + 1; b < gammas.size(); ++b) {
+      const CMat anti = gammas[a] * gammas[b] + gammas[b] * gammas[a];
+      EXPECT_NEAR(anti.frobenius_norm(), 0.0, 1e-10)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(JordanWigner, UnitCombinationIsInvolution) {
+  // (sum u_m gamma_m)^2 = |u|^2 I for any real vector u.
+  const std::size_t k = 2;
+  util::Rng rng(5);
+  std::vector<double> u(2 * k);
+  double norm2 = 0.0;
+  for (double& x : u) {
+    x = rng.normal();
+    norm2 += x * x;
+  }
+  const double inv = 1.0 / std::sqrt(norm2);
+  std::vector<PauliTerm> terms;
+  for (std::size_t m = 0; m < 2 * k; ++m) {
+    const std::size_t j = m / 2;
+    std::string ops(k, 'I');
+    for (std::size_t q = 0; q < j; ++q) ops[q] = 'Z';
+    ops[j] = (m % 2 == 0) ? 'X' : 'Y';
+    terms.push_back(PauliTerm{u[m] * inv, ops});
+  }
+  const CMat a = dense_of(PauliSum(terms));
+  EXPECT_TRUE((a * a).approx_equal(CMat::identity(4), 1e-10));
+}
+
+}  // namespace
+}  // namespace ftl::qcore

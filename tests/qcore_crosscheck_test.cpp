@@ -1,0 +1,174 @@
+// Cross-validation between the state-vector and density-matrix simulators:
+// the same circuit run through both representations must produce identical
+// statistics. Random-circuit property tests catch representation bugs that
+// hand-picked cases miss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcore/density.hpp"
+#include "qcore/entanglement.hpp"
+#include "qcore/gates.hpp"
+#include "qcore/state.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::qcore {
+namespace {
+
+/// Applies the same random circuit to both representations.
+struct CircuitPair {
+  StateVec psi;
+  Density rho;
+
+  explicit CircuitPair(std::size_t n)
+      : psi(n), rho(Density::from_state(StateVec(n))) {}
+
+  void random_layer(util::Rng& rng) {
+    const std::size_t n = psi.num_qubits();
+    for (std::size_t q = 0; q < n; ++q) {
+      const CMat u = gates::Rz(rng.uniform(0.0, 2.0 * M_PI)) *
+                     gates::Ry(rng.uniform(0.0, 2.0 * M_PI));
+      psi.apply1(u, q);
+      rho.apply1(u, q);
+    }
+    if (n >= 2) {
+      const auto [a, b] = rng.distinct_pair(n);
+      psi.apply2(gates::CNOT(), a, b);
+      rho.apply2(gates::CNOT(), a, b);
+    }
+  }
+};
+
+class RandomCircuits : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCircuits, DensityMatchesStateVector) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  CircuitPair c(3);
+  for (int layer = 0; layer < 6; ++layer) c.random_layer(rng);
+  EXPECT_TRUE(c.rho.matrix().approx_equal(c.psi.to_density(), 1e-9));
+  EXPECT_NEAR(c.rho.purity(), 1.0, 1e-9);
+}
+
+TEST_P(RandomCircuits, OutcomeProbabilitiesAgree) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  CircuitPair c(3);
+  for (int layer = 0; layer < 5; ++layer) c.random_layer(rng);
+  const CMat basis = gates::real_basis(rng.uniform(0.0, M_PI));
+  for (std::size_t q = 0; q < 3; ++q) {
+    for (int o = 0; o < 2; ++o) {
+      EXPECT_NEAR(c.rho.outcome_probability(q, basis, o),
+                  c.psi.outcome_probability(q, basis, o), 1e-9);
+    }
+  }
+}
+
+TEST_P(RandomCircuits, CollapseAgrees) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 200);
+  CircuitPair c(2);
+  for (int layer = 0; layer < 4; ++layer) c.random_layer(rng);
+  const CMat basis = gates::real_basis(0.37);
+  const double p0 = c.psi.outcome_probability(0, basis, 0);
+  if (p0 < 1e-6 || p0 > 1.0 - 1e-6) return;  // skip near-deterministic draws
+  // Force outcome 0 on both representations.
+  auto [rho_after, p_rho] = c.rho.collapse(0, basis, 0);
+  StateVec psi_after = c.psi;
+  psi_after.apply1(basis.adjoint(), 0);
+  // Manual projection onto |0> of qubit 0 in the rotated frame.
+  std::vector<Cx> amps = psi_after.amplitudes();
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    if ((i & 0b10) != 0) amps[i] = Cx{0, 0};
+  }
+  double norm2 = 0.0;
+  for (const Cx& a : amps) norm2 += std::norm(a);
+  for (Cx& a : amps) a /= std::sqrt(norm2);
+  StateVec projected = StateVec::from_amplitudes(std::move(amps));
+  projected.apply1(basis, 0);
+  EXPECT_NEAR(p_rho, p0, 1e-9);
+  EXPECT_TRUE(rho_after.matrix().approx_equal(projected.to_density(), 1e-8));
+}
+
+TEST_P(RandomCircuits, EntanglementMeasuresConsistent) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 300);
+  CircuitPair c(2);
+  for (int layer = 0; layer < 4; ++layer) c.random_layer(rng);
+  // For pure two-qubit states: entangled (entropy > 0) iff concurrence > 0
+  // iff negativity > 0 iff CHSH ceiling can exceed 2.
+  const double entropy = entanglement_entropy(c.psi, 0);
+  const double conc = concurrence(c.rho);
+  const double neg = negativity(c.rho, 0);
+  if (entropy > 1e-6) {
+    EXPECT_GT(conc, 1e-7);
+    EXPECT_GT(neg, 1e-7);
+  } else {
+    EXPECT_LT(conc, 1e-5);
+    EXPECT_LT(neg, 1e-5);
+  }
+  // Pure-state relation: ceiling = 2*sqrt(1 + C^2).
+  EXPECT_NEAR(chsh_ceiling(c.rho), 2.0 * std::sqrt(1.0 + conc * conc), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuits, ::testing::Range(1, 11));
+
+TEST(CrossCheck, Apply2MatchesKronEmbedding) {
+  // Density::apply2 on qubits (0, 2) of 3 must equal the explicit
+  // kron-built unitary.
+  util::Rng rng(99);
+  StateVec psi = StateVec::ghz(3);
+  psi.apply1(gates::Ry(0.8), 1);
+  Density rho = Density::from_state(psi);
+  Density rho2 = rho;
+
+  rho.apply2(gates::CNOT(), 0, 2);
+
+  // Manual embedding: basis |q0 q1 q2>, CNOT control q0 target q2.
+  CMat full(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t q0 = (i >> 2) & 1;
+    const std::size_t q2 = i & 1;
+    const std::size_t j = (q0 == 1) ? (i ^ 1) : i;
+    (void)q2;
+    full.at(j, i) = Cx{1, 0};
+  }
+  rho2.apply_unitary(full);
+  EXPECT_TRUE(rho.matrix().approx_equal(rho2.matrix(), 1e-10));
+}
+
+TEST(CrossCheck, TensorThenTraceRoundTrips) {
+  const Density a = Density::werner(0.8);
+  const Density b = Density::maximally_mixed(1);
+  const Density ab = a.tensor(b);
+  EXPECT_EQ(ab.num_qubits(), 3u);
+  EXPECT_TRUE(ab.is_valid(1e-8));
+  EXPECT_TRUE(ab.partial_trace({2}).matrix().approx_equal(a.matrix(), 1e-10));
+  EXPECT_TRUE(
+      ab.partial_trace({0, 1}).matrix().approx_equal(b.matrix(), 1e-10));
+}
+
+TEST(CrossCheck, SequentialMeasurementSamplingAgrees) {
+  // Sampled joint outcomes from both simulators match in distribution.
+  util::Rng rng(7);
+  const CMat ba = gates::real_basis(0.3);
+  const CMat bb = gates::real_basis(1.2);
+  int counts_psi[2][2] = {};
+  int counts_rho[2][2] = {};
+  const int rounds = 20000;
+  for (int i = 0; i < rounds; ++i) {
+    StateVec psi = StateVec::bell_phi_plus();
+    const int a1 = psi.measure(0, ba, rng);
+    const int b1 = psi.measure(1, bb, rng);
+    ++counts_psi[a1][b1];
+    Density rho = Density::from_state(StateVec::bell_phi_plus());
+    const int a2 = rho.measure(0, ba, rng);
+    const int b2 = rho.measure(1, bb, rng);
+    ++counts_rho[a2][b2];
+  }
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      EXPECT_NEAR(static_cast<double>(counts_psi[a][b]) / rounds,
+                  static_cast<double>(counts_rho[a][b]) / rounds, 0.02);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftl::qcore

@@ -1,0 +1,246 @@
+#include "qcore/density.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcore/eigen.hpp"
+#include "qcore/gates.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::qcore {
+namespace {
+
+TEST(Density, MaximallyMixedProperties) {
+  const Density rho = Density::maximally_mixed(2);
+  EXPECT_TRUE(rho.is_valid());
+  EXPECT_NEAR(rho.purity(), 0.25, 1e-12);
+}
+
+TEST(Density, FromPureStateHasPurityOne) {
+  const Density rho = Density::from_state(StateVec::bell_phi_plus());
+  EXPECT_TRUE(rho.is_valid());
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+}
+
+TEST(Density, WernerVisibilityExtremes) {
+  const Density ideal = Density::werner(1.0);
+  EXPECT_NEAR(ideal.fidelity_with(StateVec::bell_phi_plus()), 1.0, 1e-12);
+  const Density noise = Density::werner(0.0);
+  EXPECT_NEAR(noise.fidelity_with(StateVec::bell_phi_plus()), 0.25, 1e-12);
+}
+
+TEST(Density, WernerFidelityFormula) {
+  // F = (1 + 3v) / 4.
+  for (double v : {0.2, 0.5, 0.8}) {
+    const Density rho = Density::werner(v);
+    EXPECT_NEAR(rho.fidelity_with(StateVec::bell_phi_plus()),
+                (1.0 + 3.0 * v) / 4.0, 1e-12);
+    EXPECT_TRUE(rho.is_valid());
+  }
+}
+
+TEST(Density, UnitaryPreservesValidityAndPurity) {
+  Density rho = Density::from_state(StateVec::bell_phi_plus());
+  rho.apply1(gates::Ry(0.7), 0);
+  rho.apply1(gates::H(), 1);
+  EXPECT_TRUE(rho.is_valid());
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+}
+
+TEST(Density, MeasurementMatchesStateVector) {
+  // Exact outcome probabilities must agree between the two simulators.
+  StateVec psi = StateVec::ghz(3);
+  psi.apply1(gates::Ry(0.8), 1);
+  const Density rho = Density::from_state(psi);
+  const CMat basis = gates::real_basis(0.3);
+  for (std::size_t q = 0; q < 3; ++q) {
+    for (int o = 0; o < 2; ++o) {
+      EXPECT_NEAR(rho.outcome_probability(q, basis, o),
+                  psi.outcome_probability(q, basis, o), 1e-10);
+    }
+  }
+}
+
+TEST(Density, CollapseProbabilitiesSumToOne) {
+  const Density rho = Density::werner(0.7);
+  const CMat basis = gates::real_basis(1.2);
+  const auto [s0, p0] = rho.collapse(0, basis, 0);
+  const auto [s1, p1] = rho.collapse(0, basis, 1);
+  EXPECT_NEAR(p0 + p1, 1.0, 1e-10);
+  EXPECT_TRUE(s0.is_valid(1e-6));
+  EXPECT_TRUE(s1.is_valid(1e-6));
+}
+
+TEST(Density, MeasureCollapsesRepeatably) {
+  util::Rng rng(1);
+  Density rho = Density::werner(0.9);
+  const CMat basis = gates::real_basis(0.4);
+  const int o = rho.measure(0, basis, rng);
+  EXPECT_NEAR(rho.outcome_probability(0, basis, o), 1.0, 1e-9);
+}
+
+TEST(Density, PartialTraceOfBellIsMaximallyMixed) {
+  const Density rho = Density::from_state(StateVec::bell_phi_plus());
+  const Density reduced = rho.partial_trace({1});
+  EXPECT_EQ(reduced.num_qubits(), 1u);
+  EXPECT_TRUE(reduced.matrix().approx_equal(
+      CMat::identity(2) * Cx{0.5, 0.0}, 1e-10));
+}
+
+TEST(Density, PartialTraceOfProductState) {
+  // |psi> = |0> (x) |+>; tracing out either factor leaves the other pure.
+  StateVec psi(2);
+  psi.apply1(gates::H(), 1);
+  const Density rho = Density::from_state(psi);
+  const Density keep0 = rho.partial_trace({1});
+  EXPECT_NEAR(keep0.purity(), 1.0, 1e-10);
+  EXPECT_NEAR(keep0.matrix().at(0, 0).real(), 1.0, 1e-10);
+  const Density keep1 = rho.partial_trace({0});
+  EXPECT_NEAR(keep1.purity(), 1.0, 1e-10);
+  EXPECT_NEAR(keep1.matrix().at(0, 1).real(), 0.5, 1e-10);
+}
+
+TEST(Density, PartialTraceGhzMiddleQubit) {
+  const Density rho = Density::from_state(StateVec::ghz(3));
+  const Density reduced = rho.partial_trace({1});
+  EXPECT_EQ(reduced.num_qubits(), 2u);
+  // Tracing any qubit of GHZ leaves the classical mixture of |00>, |11>.
+  CMat expect(4, 4);
+  expect.at(0, 0) = Cx{0.5, 0.0};
+  expect.at(3, 3) = Cx{0.5, 0.0};
+  EXPECT_TRUE(reduced.matrix().approx_equal(expect, 1e-10));
+}
+
+TEST(Density, PartialTracePreservesTrace) {
+  util::Rng rng(2);
+  Density rho = Density::from_state(StateVec::ghz(4));
+  rho.apply_channel(depolarizing(0.3), 2);
+  const Density reduced = rho.partial_trace({0, 2});
+  EXPECT_NEAR(reduced.matrix().trace().real(), 1.0, 1e-10);
+  EXPECT_TRUE(reduced.is_valid(1e-6));
+}
+
+// ---- channel property tests (parameterised) --------------------------------
+
+struct ChannelCase {
+  const char* name;
+  Channel channel;
+};
+
+class ChannelValidity : public ::testing::TestWithParam<ChannelCase> {};
+
+TEST_P(ChannelValidity, IsTracePreserving) {
+  EXPECT_TRUE(GetParam().channel.is_trace_preserving(1e-10));
+}
+
+TEST_P(ChannelValidity, MapsStatesToValidStates) {
+  for (double v : {1.0, 0.6, 0.0}) {
+    Density rho = Density::werner(v);
+    rho.apply_channel(GetParam().channel, 0);
+    EXPECT_TRUE(rho.is_valid(1e-7)) << GetParam().name;
+    rho.apply_channel(GetParam().channel, 1);
+    EXPECT_TRUE(rho.is_valid(1e-7)) << GetParam().name;
+  }
+}
+
+TEST_P(ChannelValidity, PurityNeverIncreasesOnMixedInput) {
+  Density rho = Density::werner(0.8);
+  const double before = rho.purity();
+  rho.apply_channel(GetParam().channel, 0);
+  EXPECT_LE(rho.purity(), before + 1e-9) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChannels, ChannelValidity,
+    ::testing::Values(
+        ChannelCase{"identity", identity_channel()},
+        ChannelCase{"depolarizing_weak", depolarizing(0.05)},
+        ChannelCase{"depolarizing_strong", depolarizing(0.9)},
+        ChannelCase{"depolarizing_full", depolarizing(1.0)},
+        ChannelCase{"dephasing_weak", dephasing(0.1)},
+        ChannelCase{"dephasing_full", dephasing(1.0)},
+        ChannelCase{"amplitude_damping_weak", amplitude_damping(0.1)},
+        ChannelCase{"amplitude_damping_strong", amplitude_damping(0.95)},
+        ChannelCase{"bit_flip", bit_flip(0.3)}),
+    [](const ::testing::TestParamInfo<ChannelCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Channels, FullDepolarizingGivesMaximallyMixedQubit) {
+  Density rho = Density::from_state(StateVec::bell_phi_plus());
+  rho.apply_channel(depolarizing(1.0), 0);
+  const Density q0 = rho.partial_trace({1});
+  EXPECT_TRUE(q0.matrix().approx_equal(CMat::identity(2) * Cx{0.5, 0.0},
+                                       1e-10));
+}
+
+TEST(Channels, DepolarizingBothHalvesGivesWerner) {
+  // Depolarizing each half of a Bell pair with probability p yields a
+  // Werner state with visibility (1-p)^2.
+  const double p = 0.2;
+  Density rho = Density::from_state(StateVec::bell_phi_plus());
+  rho.apply_channel(depolarizing(p), 0);
+  rho.apply_channel(depolarizing(p), 1);
+  const Density werner = Density::werner((1.0 - p) * (1.0 - p));
+  EXPECT_TRUE(rho.matrix().approx_equal(werner.matrix(), 1e-10));
+}
+
+TEST(Channels, DephasingKillsCoherence) {
+  Density rho = Density::from_state(StateVec::bell_phi_plus());
+  rho.apply_channel(dephasing(1.0), 0);
+  // |00><11| coherence must vanish; populations survive.
+  EXPECT_NEAR(std::abs(rho.matrix().at(0, 3)), 0.0, 1e-12);
+  EXPECT_NEAR(rho.matrix().at(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.matrix().at(3, 3).real(), 0.5, 1e-12);
+}
+
+TEST(Channels, DephasingScalesCoherenceBySqrt) {
+  const double lambda = 0.36;
+  Density rho = Density::from_state(StateVec::bell_phi_plus());
+  rho.apply_channel(dephasing(lambda), 0);
+  EXPECT_NEAR(rho.matrix().at(0, 3).real(), 0.5 * std::sqrt(1.0 - lambda),
+              1e-12);
+}
+
+TEST(Channels, AmplitudeDampingRelaxesToGround) {
+  StateVec one(1);
+  one.apply1(gates::X(), 0);
+  Density rho = Density::from_state(one);
+  rho.apply_channel(amplitude_damping(1.0), 0);
+  EXPECT_NEAR(rho.matrix().at(0, 0).real(), 1.0, 1e-12);
+}
+
+TEST(Channels, StorageDecoherenceRespectsT2) {
+  const double t1 = 500e-6;
+  const double t2 = 100e-6;
+  const double t = 50e-6;
+  Density rho = Density::from_state(StateVec::bell_phi_plus());
+  for (const auto& ch : storage_decoherence(t, t1, t2)) {
+    rho.apply_channel(ch, 0);
+  }
+  // Coherence of the stored half decays as e^{-t/T2}.
+  EXPECT_NEAR(std::abs(rho.matrix().at(0, 3)), 0.5 * std::exp(-t / t2), 1e-9);
+  EXPECT_TRUE(rho.is_valid(1e-7));
+}
+
+TEST(Channels, StorageDecoherenceZeroTimeIsIdentity) {
+  Density rho = Density::werner(0.9);
+  const CMat before = rho.matrix();
+  for (const auto& ch : storage_decoherence(0.0, 1e-3, 1e-4)) {
+    rho.apply_channel(ch, 0);
+  }
+  EXPECT_TRUE(rho.matrix().approx_equal(before, 1e-10));
+}
+
+TEST(Channels, RejectsUnphysicalT2) {
+  EXPECT_DEATH(storage_decoherence(1e-6, 1e-4, 3e-4), "T2");
+}
+
+TEST(Density, FromMatrixValidation) {
+  CMat bad = CMat::identity(4);  // trace 4, not 1
+  EXPECT_DEATH(Density::from_matrix(bad), "unit trace");
+}
+
+}  // namespace
+}  // namespace ftl::qcore

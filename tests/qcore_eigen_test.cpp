@@ -1,0 +1,139 @@
+#include "qcore/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcore/gates.hpp"
+#include "qcore/state.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::qcore {
+namespace {
+
+CMat random_hermitian(std::size_t n, util::Rng& rng) {
+  CMat a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.at(i, i) = Cx{rng.normal(), 0.0};
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Cx v{rng.normal(), rng.normal()};
+      a.at(i, j) = v;
+      a.at(j, i) = std::conj(v);
+    }
+  }
+  return a;
+}
+
+TEST(Eigh, DiagonalMatrix) {
+  CMat d(3, 3);
+  d.at(0, 0) = Cx{3, 0};
+  d.at(1, 1) = Cx{-1, 0};
+  d.at(2, 2) = Cx{2, 0};
+  const EigResult e = eigh(d);
+  EXPECT_NEAR(e.values[0], -1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(e.values[2], 3.0, 1e-10);
+}
+
+TEST(Eigh, PauliX) {
+  const EigResult e = eigh(gates::X());
+  EXPECT_NEAR(e.values[0], -1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+}
+
+TEST(Eigh, PauliYComplexEigenvectors) {
+  const EigResult e = eigh(gates::Y());
+  EXPECT_NEAR(e.values[0], -1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+  // Reconstruction check: A = V D V^dagger.
+  CMat d(2, 2);
+  d.at(0, 0) = Cx{e.values[0], 0};
+  d.at(1, 1) = Cx{e.values[1], 0};
+  EXPECT_TRUE(
+      (e.vectors * d * e.vectors.adjoint()).approx_equal(gates::Y(), 1e-9));
+}
+
+TEST(Eigh, RandomHermitianReconstruction) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_int(6);  // 2..7
+    const CMat a = random_hermitian(n, rng);
+    const EigResult e = eigh(a);
+    ASSERT_EQ(e.values.size(), n);
+    // Eigenvalues ascending.
+    for (std::size_t i = 1; i < n; ++i) {
+      EXPECT_LE(e.values[i - 1], e.values[i] + 1e-12);
+    }
+    // V unitary and A = V D V^dagger.
+    EXPECT_TRUE(e.vectors.is_unitary(1e-8));
+    CMat d(n, n);
+    for (std::size_t i = 0; i < n; ++i) d.at(i, i) = Cx{e.values[i], 0.0};
+    EXPECT_TRUE((e.vectors * d * e.vectors.adjoint()).approx_equal(a, 1e-7));
+  }
+}
+
+TEST(Eigh, TraceEqualsEigenvalueSum) {
+  util::Rng rng(5);
+  const CMat a = random_hermitian(5, rng);
+  const EigResult e = eigh(a);
+  double sum = 0.0;
+  for (double v : e.values) sum += v;
+  EXPECT_NEAR(sum, a.trace().real(), 1e-8);
+}
+
+TEST(IsPsd, ProjectorsArePsd) {
+  const StateVec bell = StateVec::bell_phi_plus();
+  EXPECT_TRUE(is_psd(bell.to_density()));
+  EXPECT_TRUE(is_psd(CMat::identity(4)));
+}
+
+TEST(IsPsd, NegativeMatrixIsNot) {
+  CMat a = CMat::identity(2);
+  a *= Cx{-1.0, 0.0};
+  EXPECT_FALSE(is_psd(a));
+}
+
+TEST(SqrtPsd, SquaresBack) {
+  util::Rng rng(7);
+  // Build a random PSD matrix B B^dagger.
+  const CMat b = random_hermitian(4, rng);
+  const CMat psd = b * b.adjoint();
+  const CMat root = sqrt_psd(psd);
+  EXPECT_TRUE((root * root).approx_equal(psd, 1e-6));
+  EXPECT_TRUE(root.is_hermitian(1e-8));
+  EXPECT_TRUE(is_psd(root, 1e-7));
+}
+
+TEST(SqrtPsd, IdentityRoot) {
+  EXPECT_TRUE(sqrt_psd(CMat::identity(3)).approx_equal(CMat::identity(3), 1e-9));
+}
+
+TEST(Fidelity, IdenticalStatesIsOne) {
+  const CMat rho = StateVec::bell_phi_plus().to_density();
+  EXPECT_NEAR(fidelity(rho, rho), 1.0, 1e-8);
+}
+
+TEST(Fidelity, OrthogonalPureStatesIsZero) {
+  const StateVec s0 = StateVec::from_amplitudes({Cx{1, 0}, Cx{0, 0}});
+  const StateVec s1 = StateVec::from_amplitudes({Cx{0, 0}, Cx{1, 0}});
+  EXPECT_NEAR(fidelity(s0.to_density(), s1.to_density()), 0.0, 1e-8);
+}
+
+TEST(Fidelity, PureVsMaximallyMixed) {
+  const CMat rho = StateVec::from_amplitudes({Cx{1, 0}, Cx{0, 0}}).to_density();
+  CMat mixed = CMat::identity(2);
+  mixed *= Cx{0.5, 0.0};
+  EXPECT_NEAR(fidelity(rho, mixed), 0.5, 1e-8);
+}
+
+TEST(Fidelity, Symmetric) {
+  util::Rng rng(11);
+  const CMat b = random_hermitian(2, rng);
+  CMat psd = b * b.adjoint();
+  psd *= Cx{1.0 / psd.trace().real(), 0.0};
+  const CMat rho = StateVec::from_amplitudes({Cx{1, 0}, Cx{0, 0}}).to_density();
+  EXPECT_NEAR(fidelity(rho, psd), fidelity(psd, rho), 1e-7);
+}
+
+}  // namespace
+}  // namespace ftl::qcore

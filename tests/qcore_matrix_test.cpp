@@ -1,0 +1,187 @@
+#include "qcore/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcore/gates.hpp"
+
+namespace ftl::qcore {
+namespace {
+
+using gates::CNOT;
+using gates::CZ;
+using gates::H;
+using gates::I;
+using gates::Rx;
+using gates::Ry;
+using gates::Rz;
+using gates::S;
+using gates::SWAP;
+using gates::T;
+using gates::X;
+using gates::Y;
+using gates::Z;
+
+TEST(CMat, ZeroConstruction) {
+  CMat m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(1, 2), (Cx{0.0, 0.0}));
+}
+
+TEST(CMat, InitializerList) {
+  CMat m{{Cx{1, 0}, Cx{2, 0}}, {Cx{3, 0}, Cx{4, 0}}};
+  EXPECT_EQ(m.at(0, 1).real(), 2.0);
+  EXPECT_EQ(m.at(1, 0).real(), 3.0);
+}
+
+TEST(CMat, IdentityTimesAnything) {
+  const CMat a{{Cx{1, 2}, Cx{3, -1}}, {Cx{0, 1}, Cx{2, 2}}};
+  EXPECT_TRUE((CMat::identity(2) * a).approx_equal(a));
+  EXPECT_TRUE((a * CMat::identity(2)).approx_equal(a));
+}
+
+TEST(CMat, ProductAgainstHandComputed) {
+  const CMat a{{Cx{1, 0}, Cx{2, 0}}, {Cx{3, 0}, Cx{4, 0}}};
+  const CMat b{{Cx{0, 1}, Cx{1, 0}}, {Cx{1, 0}, Cx{0, -1}}};
+  const CMat ab = a * b;
+  EXPECT_EQ(ab.at(0, 0), (Cx{2, 1}));
+  EXPECT_EQ(ab.at(0, 1), (Cx{1, -2}));
+  EXPECT_EQ(ab.at(1, 0), (Cx{4, 3}));
+  EXPECT_EQ(ab.at(1, 1), (Cx{3, -4}));
+}
+
+TEST(CMat, AdjointConjugatesAndTransposes) {
+  const CMat a{{Cx{1, 2}, Cx{3, 4}}, {Cx{5, 6}, Cx{7, 8}}};
+  const CMat ad = a.adjoint();
+  EXPECT_EQ(ad.at(0, 1), (Cx{5, -6}));
+  EXPECT_EQ(ad.at(1, 0), (Cx{3, -4}));
+  EXPECT_TRUE(ad.adjoint().approx_equal(a));
+}
+
+TEST(CMat, TraceAndNorm) {
+  const CMat a{{Cx{1, 1}, Cx{0, 0}}, {Cx{0, 0}, Cx{2, -1}}};
+  EXPECT_EQ(a.trace(), (Cx{3, 0}));
+  EXPECT_NEAR(a.frobenius_norm(), std::sqrt(2.0 + 5.0), 1e-12);
+}
+
+TEST(CMat, KronDimensionsAndValues) {
+  const CMat k = X().kron(Z());
+  EXPECT_EQ(k.rows(), 4u);
+  // X (x) Z = [[0, Z], [Z, 0]].
+  EXPECT_EQ(k.at(0, 2), (Cx{1, 0}));
+  EXPECT_EQ(k.at(1, 3), (Cx{-1, 0}));
+  EXPECT_EQ(k.at(2, 0), (Cx{1, 0}));
+  EXPECT_EQ(k.at(3, 1), (Cx{-1, 0}));
+  EXPECT_EQ(k.at(0, 0), (Cx{0, 0}));
+}
+
+TEST(CMat, KronMixedProductProperty) {
+  // (A (x) B)(C (x) D) = AC (x) BD.
+  const CMat a = H();
+  const CMat b = S();
+  const CMat c = X();
+  const CMat d = Ry(0.7);
+  EXPECT_TRUE(
+      (a.kron(b) * c.kron(d)).approx_equal((a * c).kron(b * d), 1e-10));
+}
+
+TEST(CMat, OuterProduct) {
+  const std::vector<Cx> u{Cx{1, 0}, Cx{0, 1}};
+  const std::vector<Cx> v{Cx{0, 0}, Cx{1, 0}};
+  const CMat o = CMat::outer(u, v);
+  EXPECT_EQ(o.at(0, 1), (Cx{1, 0}));
+  EXPECT_EQ(o.at(1, 1), (Cx{0, 1}));
+  EXPECT_EQ(o.at(0, 0), (Cx{0, 0}));
+}
+
+TEST(CMat, ApplyMatchesProduct) {
+  const CMat a = H();
+  const std::vector<Cx> v{Cx{1, 0}, Cx{0, 0}};
+  const auto out = a.apply(v);
+  EXPECT_NEAR(out[0].real(), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(out[1].real(), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Gates, AllUnitary) {
+  for (const CMat& g : {I(), X(), Y(), Z(), H(), S(), T(), Ry(0.3), Rz(1.1),
+                        Rx(2.2)}) {
+    EXPECT_TRUE(g.is_unitary(1e-10));
+  }
+  for (const CMat& g : {CNOT(), CZ(), SWAP()}) {
+    EXPECT_TRUE(g.is_unitary(1e-10));
+  }
+}
+
+TEST(Gates, PauliAlgebra) {
+  // XY = iZ, YZ = iX, ZX = iY.
+  EXPECT_TRUE((X() * Y()).approx_equal(Z() * Cx{0, 1}, 1e-12));
+  EXPECT_TRUE((Y() * Z()).approx_equal(X() * Cx{0, 1}, 1e-12));
+  EXPECT_TRUE((Z() * X()).approx_equal(Y() * Cx{0, 1}, 1e-12));
+}
+
+TEST(Gates, PaulisSquareToIdentity) {
+  for (const CMat& g : {X(), Y(), Z(), H()}) {
+    EXPECT_TRUE((g * g).approx_equal(CMat::identity(2), 1e-12));
+  }
+}
+
+TEST(Gates, HermitianChecks) {
+  EXPECT_TRUE(X().is_hermitian());
+  EXPECT_TRUE(Y().is_hermitian());
+  EXPECT_TRUE(Z().is_hermitian());
+  EXPECT_TRUE(H().is_hermitian());
+  EXPECT_FALSE(S().is_hermitian());
+}
+
+TEST(Gates, RotationComposition) {
+  // Ry(a) Ry(b) = Ry(a + b).
+  EXPECT_TRUE((Ry(0.4) * Ry(0.9)).approx_equal(Ry(1.3), 1e-12));
+  EXPECT_TRUE((Rz(0.4) * Rz(0.9)).approx_equal(Rz(1.3), 1e-12));
+}
+
+TEST(Gates, RealBasisColumnsOrthonormal) {
+  for (double theta : {0.0, 0.3, M_PI / 8.0, M_PI / 4.0, 2.0}) {
+    const CMat b = gates::real_basis(theta);
+    EXPECT_TRUE(b.is_unitary(1e-12));
+    // Column 0 is cos|0> + sin|1>.
+    EXPECT_NEAR(b.at(0, 0).real(), std::cos(theta), 1e-12);
+    EXPECT_NEAR(b.at(1, 0).real(), std::sin(theta), 1e-12);
+  }
+}
+
+TEST(Vectors, InnerIsConjugateLinear) {
+  const std::vector<Cx> u{Cx{0, 1}, Cx{0, 0}};
+  const std::vector<Cx> v{Cx{1, 0}, Cx{0, 0}};
+  // <u|v> = conj(i) * 1 = -i.
+  EXPECT_EQ(inner(u, v), (Cx{0, -1}));
+}
+
+TEST(Vectors, NormalizeMakesUnit) {
+  std::vector<Cx> v{Cx{3, 0}, Cx{0, 4}};
+  normalize(v);
+  EXPECT_NEAR(norm(v), 1.0, 1e-12);
+  EXPECT_NEAR(v[0].real(), 0.6, 1e-12);
+}
+
+TEST(Vectors, KronOfKets) {
+  const std::vector<Cx> zero{Cx{1, 0}, Cx{0, 0}};
+  const std::vector<Cx> one{Cx{0, 0}, Cx{1, 0}};
+  const auto zo = kron(zero, one);
+  ASSERT_EQ(zo.size(), 4u);
+  EXPECT_EQ(zo[1], (Cx{1, 0}));  // |01> is index 1
+}
+
+TEST(CMat, ScalarOps) {
+  CMat a = CMat::identity(2);
+  a *= Cx{2.0, 0.0};
+  EXPECT_EQ(a.at(0, 0), (Cx{2, 0}));
+  const CMat b = a - CMat::identity(2);
+  EXPECT_EQ(b.at(1, 1), (Cx{1, 0}));
+  const CMat c = Cx{0.0, 1.0} * CMat::identity(2);
+  EXPECT_EQ(c.at(0, 0), (Cx{0, 1}));
+}
+
+}  // namespace
+}  // namespace ftl::qcore

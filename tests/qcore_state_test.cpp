@@ -1,0 +1,221 @@
+#include "qcore/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcore/gates.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::qcore {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752;
+
+TEST(StateVec, StartsInAllZeros) {
+  const StateVec s(3);
+  EXPECT_EQ(s.num_qubits(), 3u);
+  EXPECT_EQ(s.dim(), 8u);
+  EXPECT_NEAR(std::abs(s.amplitude(0)), 1.0, 1e-12);
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(s.amplitude(i)), 0.0, 1e-12);
+  }
+}
+
+TEST(StateVec, HadamardCreatesUniformSuperposition) {
+  StateVec s(1);
+  s.apply1(gates::H(), 0);
+  EXPECT_NEAR(s.amplitude(0).real(), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(s.amplitude(1).real(), kInvSqrt2, 1e-12);
+}
+
+TEST(StateVec, QubitOrderingConvention) {
+  // Apply X to qubit 0 of |00>: should give |10>, i.e. basis index 2.
+  StateVec s(2);
+  s.apply1(gates::X(), 0);
+  EXPECT_NEAR(std::abs(s.amplitude(2)), 1.0, 1e-12);
+  // X on qubit 1 of |00> gives |01> = index 1.
+  StateVec t(2);
+  t.apply1(gates::X(), 1);
+  EXPECT_NEAR(std::abs(t.amplitude(1)), 1.0, 1e-12);
+}
+
+TEST(StateVec, BellPairViaCircuitMatchesFactory) {
+  StateVec s(2);
+  s.apply1(gates::H(), 0);
+  s.apply2(gates::CNOT(), 0, 1);
+  EXPECT_TRUE(s.approx_equal(StateVec::bell_phi_plus(), 1e-12));
+}
+
+TEST(StateVec, GhzViaCircuit) {
+  StateVec s(3);
+  s.apply1(gates::H(), 0);
+  s.apply2(gates::CNOT(), 0, 1);
+  s.apply2(gates::CNOT(), 1, 2);
+  EXPECT_TRUE(s.approx_equal(StateVec::ghz(3), 1e-12));
+}
+
+TEST(StateVec, Apply2OnNonAdjacentQubits) {
+  // CNOT with control qubit 0 and target qubit 2 in a 3-qubit register.
+  StateVec s(3);
+  s.apply1(gates::X(), 0);        // |100>
+  s.apply2(gates::CNOT(), 0, 2);  // -> |101>
+  EXPECT_NEAR(std::abs(s.amplitude(0b101)), 1.0, 1e-12);
+}
+
+TEST(StateVec, Apply2ReversedQubitOrder) {
+  // CNOT with control qubit 1, target qubit 0.
+  StateVec s(2);
+  s.apply1(gates::X(), 1);        // |01>
+  s.apply2(gates::CNOT(), 1, 0);  // control=qubit1 is 1 -> flip qubit0
+  EXPECT_NEAR(std::abs(s.amplitude(0b11)), 1.0, 1e-12);
+}
+
+TEST(StateVec, UnitaryPreservesNorm) {
+  util::Rng rng(1);
+  StateVec s(4);
+  for (int i = 0; i < 50; ++i) {
+    s.apply1(gates::Ry(rng.uniform(0, 3.0)), rng.uniform_int(4));
+    s.apply1(gates::Rz(rng.uniform(0, 3.0)), rng.uniform_int(4));
+  }
+  EXPECT_NEAR(s.norm(), 1.0, 1e-10);
+}
+
+TEST(StateVec, ProbabilitiesSumToOne) {
+  StateVec s = StateVec::ghz(4);
+  s.apply1(gates::H(), 2);
+  double total = 0.0;
+  for (double p : s.probabilities()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(StateVec, ComputationalMeasurementStatistics) {
+  util::Rng rng(2);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    StateVec s(1);
+    s.apply1(gates::H(), 0);
+    ones += s.measure_computational(0, rng);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.01);
+}
+
+TEST(StateVec, MeasurementCollapsesState) {
+  util::Rng rng(3);
+  StateVec s(1);
+  s.apply1(gates::H(), 0);
+  const int first = s.measure_computational(0, rng);
+  // Re-measuring must give the same outcome forever.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(s.measure_computational(0, rng), first);
+  }
+}
+
+TEST(StateVec, BellPairPerfectCorrelationInComputationalBasis) {
+  util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    StateVec s = StateVec::bell_phi_plus();
+    const int a = s.measure_computational(0, rng);
+    const int b = s.measure_computational(1, rng);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(StateVec, PaperSkewedBasisExample) {
+  // §2's example: after the first server measures 0 in the computational
+  // basis, the second measuring in {1/sqrt3 |0> + sqrt2/sqrt3 |1>, ...}
+  // yields 0 with probability 1/3.
+  const double c = 1.0 / std::sqrt(3.0);
+  const double s2 = std::sqrt(2.0) / std::sqrt(3.0);
+  const CMat skew{{Cx{c, 0}, Cx{s2, 0}}, {Cx{s2, 0}, Cx{-c, 0}}};
+  ASSERT_TRUE(skew.is_unitary(1e-12));
+
+  util::Rng rng(5);
+  int n0 = 0;
+  int hits = 0;
+  for (int i = 0; i < 40000; ++i) {
+    StateVec st = StateVec::bell_phi_plus();
+    if (st.measure_computational(0, rng) == 0) {
+      ++n0;
+      if (st.measure(1, skew, rng) == 0) ++hits;
+    }
+  }
+  ASSERT_GT(n0, 10000);
+  EXPECT_NEAR(static_cast<double>(hits) / n0, 1.0 / 3.0, 0.015);
+}
+
+TEST(StateVec, DeterministicOutcomeWhenAligned) {
+  // §2: measuring (|0> + |1>)/sqrt2 in the {+,-} basis always yields 0.
+  util::Rng rng(6);
+  const CMat hbasis = gates::H();  // columns are |+>, |->
+  for (int i = 0; i < 50; ++i) {
+    StateVec s(1);
+    s.apply1(gates::H(), 0);
+    EXPECT_EQ(s.measure(0, hbasis, rng), 0);
+  }
+}
+
+TEST(StateVec, OutcomeProbabilityMatchesMeasureFrequency) {
+  const double theta = 0.6;
+  StateVec s(1);
+  s.apply1(gates::Ry(2.0 * 0.35), 0);  // some state
+  const CMat basis = gates::real_basis(theta);
+  const double p1 = s.outcome_probability(0, basis, 1);
+  util::Rng rng(7);
+  int ones = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    StateVec copy = s;
+    ones += copy.measure(0, basis, rng);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, p1, 0.01);
+}
+
+TEST(StateVec, OutcomeProbabilitiesSumToOne) {
+  StateVec s = StateVec::ghz(3);
+  const CMat basis = gates::real_basis(1.1);
+  for (std::size_t q = 0; q < 3; ++q) {
+    EXPECT_NEAR(s.outcome_probability(q, basis, 0) +
+                    s.outcome_probability(q, basis, 1),
+                1.0, 1e-12);
+  }
+}
+
+TEST(StateVec, MeasureInBasisLeavesCollapsedBasisState) {
+  // After measuring outcome o in basis B, the qubit is exactly |phi_o>:
+  // re-measuring in B gives o with certainty.
+  util::Rng rng(8);
+  const CMat basis = gates::real_basis(0.9);
+  for (int i = 0; i < 50; ++i) {
+    StateVec s = StateVec::bell_phi_plus();
+    const int o = s.measure(0, basis, rng);
+    EXPECT_NEAR(s.outcome_probability(0, basis, o), 1.0, 1e-10);
+  }
+}
+
+TEST(StateVec, GhzMarginalIsUniform) {
+  const StateVec g = StateVec::ghz(5);
+  for (std::size_t q = 0; q < 5; ++q) {
+    EXPECT_NEAR(g.outcome_probability(q, CMat::identity(2), 1), 0.5, 1e-12);
+  }
+}
+
+TEST(StateVec, FromAmplitudesRejectsUnnormalised) {
+  EXPECT_DEATH(StateVec::from_amplitudes({Cx{1, 0}, Cx{1, 0}}), "normalised");
+}
+
+TEST(StateVec, FromAmplitudesRejectsNonPowerOfTwo) {
+  EXPECT_DEATH(StateVec::from_amplitudes({Cx{1, 0}, Cx{0, 0}, Cx{0, 0}}),
+               "power of two");
+}
+
+TEST(StateVec, ToDensityIsPureProjector) {
+  const StateVec s = StateVec::bell_phi_plus();
+  const CMat rho = s.to_density();
+  EXPECT_NEAR(rho.trace().real(), 1.0, 1e-12);
+  EXPECT_TRUE((rho * rho).approx_equal(rho, 1e-10));  // idempotent: pure
+}
+
+}  // namespace
+}  // namespace ftl::qcore

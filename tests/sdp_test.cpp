@@ -1,0 +1,149 @@
+#include "sdp/tsirelson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftl::sdp {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752;
+
+TEST(MaxGram, SingleElementIsTrivial) {
+  SymMatrix c(1);
+  c.at(0, 0) = 5.0;  // diagonal is excluded from the objective
+  const GramResult r = max_gram(c);
+  EXPECT_NEAR(r.value, 0.0, 1e-12);
+}
+
+TEST(MaxGram, TwoVectorsAlign) {
+  // max 2 * C01 <r0, r1> = 2 * 3 when the unit vectors align.
+  SymMatrix c(2);
+  c.at(0, 1) = 3.0;
+  c.at(1, 0) = 3.0;
+  const GramResult r = max_gram(c);
+  EXPECT_NEAR(r.value, 6.0, 1e-9);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(MaxGram, TwoVectorsAntiAlign) {
+  SymMatrix c(2);
+  c.at(0, 1) = -2.0;
+  c.at(1, 0) = -2.0;
+  const GramResult r = max_gram(c);
+  EXPECT_NEAR(r.value, 4.0, 1e-9);
+}
+
+TEST(MaxGram, TriangleFrustration) {
+  // Three mutually repelling unit vectors (C_ij = -1): the optimum is the
+  // Mercedes configuration at 120 degrees, value 2 * 3 * (1/2) = 3.
+  SymMatrix c(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i != j) c.at(i, j) = -1.0;
+    }
+  }
+  const GramResult r = max_gram(c);
+  EXPECT_NEAR(r.value, 3.0, 1e-7);
+}
+
+TEST(MaxGram, RowsAreUnitNorm) {
+  SymMatrix c(4);
+  c.at(0, 1) = 1.0;
+  c.at(1, 0) = 1.0;
+  c.at(2, 3) = -0.5;
+  c.at(3, 2) = -0.5;
+  const GramResult r = max_gram(c);
+  for (const auto& row : r.rows) {
+    double n2 = 0.0;
+    for (double x : row) n2 += x * x;
+    EXPECT_NEAR(n2, 1.0, 1e-9);
+  }
+}
+
+TEST(MaxGram, DeterministicForFixedSeed) {
+  SymMatrix c(3);
+  c.at(0, 1) = 1.0;
+  c.at(1, 0) = 1.0;
+  c.at(1, 2) = -0.7;
+  c.at(2, 1) = -0.7;
+  GramOptions opts;
+  opts.seed = 99;
+  const GramResult r1 = max_gram(c, opts);
+  const GramResult r2 = max_gram(c, opts);
+  EXPECT_DOUBLE_EQ(r1.value, r2.value);
+}
+
+TEST(XorBias, ChshIsOneOverSqrt2) {
+  // CHSH cost matrix: pi = 1/4 each, sign +1 except (1,1).
+  std::vector<std::vector<double>> m{{0.25, 0.25}, {0.25, -0.25}};
+  const XorBiasResult r = xor_quantum_bias(m);
+  EXPECT_NEAR(r.bias, kInvSqrt2, 1e-7);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.alice.size(), 2u);
+  EXPECT_EQ(r.bob.size(), 2u);
+}
+
+TEST(XorBias, FlippedChshSameBias) {
+  std::vector<std::vector<double>> m{{-0.25, -0.25}, {-0.25, 0.25}};
+  EXPECT_NEAR(xor_quantum_bias(m).bias, kInvSqrt2, 1e-7);
+}
+
+TEST(XorBias, TrivialGameHasBiasOne) {
+  // f == 0 everywhere: always agree; quantum bias = classical = 1.
+  std::vector<std::vector<double>> m{{0.5, 0.0}, {0.0, 0.5}};
+  EXPECT_NEAR(xor_quantum_bias(m).bias, 1.0, 1e-8);
+}
+
+TEST(XorBias, AntiCorrelationGame) {
+  // f == 1 everywhere: always disagree; also achievable exactly.
+  std::vector<std::vector<double>> m{{-0.5, -0.5}};
+  EXPECT_NEAR(xor_quantum_bias(m).bias, 1.0, 1e-8);
+}
+
+TEST(XorBias, ScalesLinearlyWithCosts) {
+  std::vector<std::vector<double>> m{{0.25, 0.25}, {0.25, -0.25}};
+  std::vector<std::vector<double>> m2 = m;
+  for (auto& row : m2) {
+    for (double& v : row) v *= 2.0;
+  }
+  EXPECT_NEAR(xor_quantum_bias(m2).bias, 2.0 * xor_quantum_bias(m).bias,
+              1e-7);
+}
+
+TEST(XorBias, VectorsRealiseTheBias) {
+  std::vector<std::vector<double>> m{{0.25, 0.25}, {0.25, -0.25}};
+  const XorBiasResult r = xor_quantum_bias(m);
+  double check = 0.0;
+  for (std::size_t x = 0; x < 2; ++x) {
+    for (std::size_t y = 0; y < 2; ++y) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < r.alice[x].size(); ++k) {
+        dot += r.alice[x][k] * r.bob[y][k];
+      }
+      check += m[x][y] * dot;
+    }
+  }
+  EXPECT_NEAR(check, r.bias, 1e-9);
+}
+
+TEST(XorBias, RectangularGame) {
+  // 3 inputs for Alice, 2 for Bob; uniform weights, all-agree condition.
+  std::vector<std::vector<double>> m(3, std::vector<double>(2, 1.0 / 6.0));
+  EXPECT_NEAR(xor_quantum_bias(m).bias, 1.0, 1e-8);
+}
+
+TEST(XorBias, MoreRestartsNeverHurt) {
+  std::vector<std::vector<double>> m{{0.2, -0.3, 0.1},
+                                     {-0.1, 0.25, -0.15},
+                                     {0.05, 0.1, -0.3}};
+  GramOptions few;
+  few.restarts = 1;
+  GramOptions many;
+  many.restarts = 16;
+  EXPECT_GE(xor_quantum_bias(m, many).bias,
+            xor_quantum_bias(m, few).bias - 1e-9);
+}
+
+}  // namespace
+}  // namespace ftl::sdp

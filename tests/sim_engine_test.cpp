@@ -1,0 +1,122 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftl::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, SimultaneousEventsFifo) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(1.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(2.0, [&] {
+    e.schedule_in(0.5, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(1.0, [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelUnknownIdIsNoop) {
+  Engine e;
+  e.cancel(12345);
+  bool fired = false;
+  e.schedule_at(1.0, [&] { fired = true; });
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  std::vector<double> fired;
+  for (double t : {0.5, 1.5, 2.5}) {
+    e.schedule_at(t, [&fired, &e] { fired.push_back(e.now()); });
+  }
+  e.run_until(2.0);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  e.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Engine, RunUntilAdvancesTimeWhenIdle) {
+  Engine e;
+  e.run_until(5.0);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, EventsCanChainIndefinitely) {
+  Engine e;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 100) e.schedule_in(1.0, tick);
+  };
+  e.schedule_in(1.0, tick);
+  e.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(e.now(), 100.0);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine e;
+  e.schedule_at(2.0, [] {});
+  e.run();
+  EXPECT_DEATH(e.schedule_at(1.0, [] {}), "past");
+}
+
+TEST(Engine, EventAtCurrentTimeAllowed) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] {
+    e.schedule_at(e.now(), [&] { ++fired; });  // zero-delay event
+  });
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace ftl::sim

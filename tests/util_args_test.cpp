@@ -1,0 +1,79 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftl::util {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, ProgramName) {
+  const Args a = parse({"prog"});
+  EXPECT_EQ(a.program(), "prog");
+  EXPECT_TRUE(a.positional().empty());
+}
+
+TEST(Args, SpaceSeparatedValue) {
+  const Args a = parse({"prog", "--servers", "86"});
+  EXPECT_TRUE(a.has("servers"));
+  EXPECT_EQ(a.get("servers", static_cast<long long>(0)), 86);
+}
+
+TEST(Args, EqualsSeparatedValue) {
+  const Args a = parse({"prog", "--visibility=0.85"});
+  EXPECT_DOUBLE_EQ(a.get("visibility", 0.0), 0.85);
+}
+
+TEST(Args, BooleanFlag) {
+  const Args a = parse({"prog", "--verbose"});
+  EXPECT_TRUE(a.get("verbose", false));
+  EXPECT_FALSE(a.get("quiet", false));
+  EXPECT_TRUE(a.get("quiet", true));
+}
+
+TEST(Args, ExplicitBooleanValues) {
+  EXPECT_TRUE(parse({"p", "--x=true"}).get("x", false));
+  EXPECT_TRUE(parse({"p", "--x=1"}).get("x", false));
+  EXPECT_FALSE(parse({"p", "--x=false"}).get("x", true));
+  EXPECT_FALSE(parse({"p", "--x=0"}).get("x", true));
+}
+
+TEST(Args, PositionalArguments) {
+  const Args a = parse({"prog", "input.csv", "--n", "5", "out.csv"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "input.csv");
+  EXPECT_EQ(a.positional()[1], "out.csv");
+  EXPECT_EQ(a.get("n", static_cast<std::size_t>(0)), 5u);
+}
+
+TEST(Args, FlagFollowedByFlagIsBoolean) {
+  const Args a = parse({"prog", "--fast", "--n", "3"});
+  EXPECT_TRUE(a.get("fast", false));
+  EXPECT_EQ(a.get("n", static_cast<long long>(0)), 3);
+}
+
+TEST(Args, StringDefaults) {
+  const Args a = parse({"prog", "--mode=quantum"});
+  EXPECT_EQ(a.get("mode", std::string("classical")), "quantum");
+  EXPECT_EQ(a.get("policy", std::string("paper")), "paper");
+}
+
+TEST(Args, DoubleDefaults) {
+  const Args a = parse({"prog"});
+  EXPECT_DOUBLE_EQ(a.get("rate", 2.5), 2.5);
+}
+
+TEST(Args, LastOccurrenceWins) {
+  const Args a = parse({"prog", "--n=1", "--n=2"});
+  EXPECT_EQ(a.get("n", static_cast<long long>(0)), 2);
+}
+
+TEST(Args, BareDoubleDashDies) {
+  EXPECT_DEATH(parse({"prog", "--"}), "not a valid flag");
+}
+
+}  // namespace
+}  // namespace ftl::util

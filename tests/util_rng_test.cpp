@@ -1,0 +1,245 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ftl::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestoresStream) {
+  Rng a(99);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next_u64());
+  a.reseed(99);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0;
+  double hi = 0.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 2.5);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 2.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(Rng, UniformIntIsUnbiased) {
+  Rng rng(13);
+  std::vector<int> counts(7, 0);
+  const int n = 700000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 7.0, 0.003);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(std::int64_t{-2}, std::int64_t{2});
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.005);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(29);
+  const double lambda = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(lambda);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.01);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(31);
+  const double mean = 2.5;
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto k = static_cast<double>(rng.poisson(mean));
+    sum += k;
+    sq += k * k;
+  }
+  const double m = sum / n;
+  EXPECT_NEAR(m, mean, 0.03);
+  // Poisson variance equals its mean.
+  EXPECT_NEAR(sq / n - m * m, mean, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesSplitPath) {
+  Rng rng(37);
+  const double mean = 200.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(41);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(43);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, DistinctPairNeverEqual) {
+  Rng rng(47);
+  for (int i = 0; i < 10000; ++i) {
+    const auto [a, b] = rng.distinct_pair(5);
+    ASSERT_NE(a, b);
+    ASSERT_LT(a, 5u);
+    ASSERT_LT(b, 5u);
+  }
+}
+
+TEST(Rng, DistinctPairUniformOverOrderedPairs) {
+  Rng rng(53);
+  std::vector<int> counts(3 * 3, 0);
+  const int n = 180000;
+  for (int i = 0; i < n; ++i) {
+    const auto [a, b] = rng.distinct_pair(3);
+    ++counts[a * 3 + b];
+  }
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      const double frac = static_cast<double>(counts[a * 3 + b]) / n;
+      if (a == b) {
+        EXPECT_EQ(counts[a * 3 + b], 0);
+      } else {
+        EXPECT_NEAR(frac, 1.0 / 6.0, 0.005);
+      }
+    }
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleUniformFirstElement) {
+  Rng rng(61);
+  std::vector<int> counts(4, 0);
+  const int n = 120000;
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> v{0, 1, 2, 3};
+    rng.shuffle(v);
+    ++counts[v[0]];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.006);
+  }
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(67);
+  Rng child1 = parent.split(1);
+  Rng child2 = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitmixIsDeterministic) {
+  std::uint64_t s1 = 5;
+  std::uint64_t s2 = 5;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace ftl::util

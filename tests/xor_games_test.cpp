@@ -1,0 +1,153 @@
+#include "games/xor_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "games/affinity.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::games {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752;
+/// Grothendieck's constant upper bound: quantum bias <= K_G * classical.
+constexpr double kGrothendieck = 1.7822139781;
+
+TEST(AffinityGraph, DefaultsToColocate) {
+  const AffinityGraph g(4);
+  for (std::size_t u = 0; u < 4; ++u) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      EXPECT_EQ(g.at(u, v), Affinity::kColocate);
+    }
+  }
+  EXPECT_EQ(g.num_exclusive_edges(), 0u);
+}
+
+TEST(AffinityGraph, SetIsSymmetric) {
+  AffinityGraph g(3);
+  g.set(0, 2, Affinity::kExclusive);
+  EXPECT_EQ(g.at(2, 0), Affinity::kExclusive);
+  EXPECT_EQ(g.num_exclusive_edges(), 1u);
+}
+
+TEST(AffinityGraph, RandomEdgeDensity) {
+  util::Rng rng(3);
+  std::size_t total = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    total += AffinityGraph::random(5, 0.4, rng).num_exclusive_edges();
+  }
+  // 10 possible edges, expected 4 exclusive.
+  EXPECT_NEAR(static_cast<double>(total) / trials, 4.0, 0.15);
+}
+
+TEST(AffinityGraph, RandomExtremes) {
+  util::Rng rng(5);
+  EXPECT_EQ(AffinityGraph::random(5, 0.0, rng).num_exclusive_edges(), 0u);
+  EXPECT_EQ(AffinityGraph::random(5, 1.0, rng).num_exclusive_edges(), 10u);
+}
+
+TEST(AffinityGraph, SelfLoopsStayColocate) {
+  util::Rng rng(7);
+  const AffinityGraph g = AffinityGraph::random(6, 1.0, rng);
+  for (std::size_t u = 0; u < 6; ++u) {
+    EXPECT_EQ(g.at(u, u), Affinity::kColocate);
+  }
+}
+
+TEST(XorGame, ChshBiases) {
+  const XorGame g = XorGame::chsh();
+  EXPECT_NEAR(g.classical_bias(), 0.5, 1e-12);  // win prob 3/4
+  EXPECT_NEAR(g.quantum_bias().bias, kInvSqrt2, 1e-6);
+  EXPECT_TRUE(g.has_quantum_advantage());
+}
+
+TEST(XorGame, FlippedChshBiases) {
+  const XorGame g = XorGame::chsh(true);
+  EXPECT_NEAR(g.classical_bias(), 0.5, 1e-12);
+  EXPECT_NEAR(g.quantum_bias().bias, kInvSqrt2, 1e-6);
+}
+
+TEST(XorGame, ClassicalValueConsistency) {
+  const XorGame g = XorGame::chsh();
+  EXPECT_NEAR(g.classical_value(), 0.75, 1e-12);
+}
+
+TEST(XorGame, ClassicalBiasMatchesExhaustiveGameSearch) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const AffinityGraph graph = AffinityGraph::random(4, 0.5, rng);
+    const XorGame xg = XorGame::from_affinity(graph);
+    const ClassicalOptimum opt = classical_value(xg.to_two_party_game());
+    EXPECT_NEAR((1.0 + xg.classical_bias()) / 2.0, opt.value, 1e-10);
+  }
+}
+
+TEST(XorGame, AllColocateGraphIsTrivial) {
+  const AffinityGraph g(5);  // no exclusive edges
+  const XorGame xg = XorGame::from_affinity(g);
+  EXPECT_NEAR(xg.classical_bias(), 1.0, 1e-12);
+  EXPECT_FALSE(xg.has_quantum_advantage());
+}
+
+TEST(XorGame, FromAffinityEncodesEdges) {
+  AffinityGraph g(3);
+  g.set(0, 1, Affinity::kExclusive);
+  const XorGame xg = XorGame::from_affinity(g);
+  EXPECT_EQ(xg.f(0, 1), 1);
+  EXPECT_EQ(xg.f(1, 0), 1);
+  EXPECT_EQ(xg.f(0, 2), 0);
+  EXPECT_EQ(xg.f(0, 0), 0);
+}
+
+TEST(XorGame, PentagonParityGameHasAdvantage) {
+  // Odd-cycle anti-correlation: vertices 0-1-2-3-4-0 exclusive around the
+  // cycle. This frustration is the classic source of quantum advantage.
+  AffinityGraph g(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    g.set(i, (i + 1) % 5, Affinity::kExclusive);
+  }
+  const XorGame xg = XorGame::from_affinity(g);
+  const double cb = xg.classical_bias();
+  const double qb = xg.quantum_bias().bias;
+  EXPECT_GT(qb, cb + 1e-4);
+}
+
+// Property sweep: for random affinity games, quantum bias must always be
+// >= classical and <= Grothendieck * classical.
+class RandomXorGames : public ::testing::TestWithParam<double> {};
+
+TEST_P(RandomXorGames, QuantumSandwich) {
+  const double p_exclusive = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(p_exclusive * 1000) + 17);
+  for (int trial = 0; trial < 6; ++trial) {
+    const AffinityGraph graph = AffinityGraph::random(4, p_exclusive, rng);
+    const XorGame xg = XorGame::from_affinity(graph);
+    const double cb = xg.classical_bias();
+    sdp::GramOptions opts;
+    opts.restarts = 6;
+    const double qb = xg.quantum_bias(opts).bias;
+    EXPECT_GE(qb, cb - 1e-6) << "p=" << p_exclusive << " trial=" << trial;
+    EXPECT_LE(qb, kGrothendieck * cb + 1e-6)
+        << "p=" << p_exclusive << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RandomXorGames,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+TEST(XorGame, CostMatrixSignsAndWeights) {
+  const XorGame g = XorGame::chsh();
+  const auto m = g.cost_matrix();
+  EXPECT_NEAR(m[0][0], 0.25, 1e-12);
+  EXPECT_NEAR(m[1][1], -0.25, 1e-12);
+}
+
+TEST(XorGame, InputDistributionUniform) {
+  const XorGame g = XorGame::chsh();
+  EXPECT_NEAR(g.input_prob(0, 1), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace ftl::games
