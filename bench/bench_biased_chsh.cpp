@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "games/npa.hpp"
 #include "games/seesaw.hpp"
 #include "games/xor_game.hpp"
@@ -19,6 +20,8 @@
 namespace {
 
 using namespace ftl;
+
+std::uint64_t g_seed = 2024;  // see-saw restart stream; override with --seed
 
 games::XorGame biased_chsh(double p) {
   // f(x, y) = x AND y; inputs independent Bernoulli(p).
@@ -50,6 +53,7 @@ BENCHMARK(BM_BiasedChsh)
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
     const double quantum = (1.0 + game.quantum_bias().bias) / 2.0;
     games::SeesawOptions opts;
     opts.restarts = 8;
+    opts.seed = g_seed;
     const double seesaw =
         games::seesaw_optimize(game.to_two_party_game(), opts).value;
     const double npa =

@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "correlate/decision_source.hpp"
 #include "lb/simulator.hpp"
 #include "util/table.hpp"
@@ -20,13 +21,15 @@ namespace {
 
 using namespace ftl;
 
+std::uint64_t g_seed = 4242;  // override with --seed
+
 lb::LbConfig base_cfg(std::size_t servers) {
   lb::LbConfig cfg;
   cfg.num_balancers = 100;
   cfg.num_servers = servers;
   cfg.warmup_steps = 800;
   cfg.measure_steps = 3000;
-  cfg.seed = 4242;
+  cfg.seed = g_seed;
   return cfg;
 }
 
@@ -87,6 +90,7 @@ BENCHMARK(BM_LocalBatching)
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "games/chsh.hpp"
 #include "games/xor_game.hpp"
 #include "qcore/gates.hpp"
@@ -17,6 +18,8 @@
 namespace {
 
 using namespace ftl;
+
+std::uint64_t g_seed = 7;  // sampled-play stream; override with --seed
 
 void BM_ChshClassicalValue(benchmark::State& state) {
   double v = 0.0;
@@ -50,7 +53,7 @@ void BM_ChshQuantumSdp(benchmark::State& state) {
 BENCHMARK(BM_ChshQuantumSdp)->Unit(benchmark::kMillisecond);
 
 void BM_ChshQuantumSampled(benchmark::State& state) {
-  util::Rng rng(7);
+  util::Rng rng(g_seed);
   const auto strat = games::chsh_quantum_strategy(games::chsh_optimal_angles());
   const auto game = games::chsh_game();
   double v = 0.0;
@@ -74,6 +77,7 @@ BENCHMARK(BM_ChshQuantumSampled)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

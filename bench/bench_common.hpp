@@ -1,0 +1,39 @@
+// Shared helpers for the bench binaries.
+//
+// Every bench accepts `--seed <n>` (or `--seed=<n>`) ahead of the usual
+// google-benchmark flags, so any figure can be regenerated under a
+// different random stream — and any property-test failure seed can be
+// replayed through the full benchmark pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/args.hpp"
+
+namespace ftl::bench {
+
+/// Reads `--seed` from the command line and then *removes* it from argv so
+/// the remaining flags can be handed to benchmark::Initialize (which treats
+/// unknown flags as fatal). Returns `fallback` when no seed was passed.
+inline std::uint64_t extract_seed(int& argc, char** argv,
+                                  std::uint64_t fallback) {
+  const util::Args args(argc, argv, /*allow_unknown=*/true);
+  const auto seed = static_cast<std::uint64_t>(
+      args.get("seed", static_cast<long long>(fallback)));
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed") {
+      // Skip the flag and its (non-flag) value token, if any.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) ++i;
+      continue;
+    }
+    if (arg.rfind("--seed=", 0) == 0) continue;
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return seed;
+}
+
+}  // namespace ftl::bench

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "qcore/density.hpp"
 #include "qnet/distill.hpp"
 #include "util/table.hpp"
@@ -49,6 +50,8 @@ BENCHMARK(BM_DistillToChshThreshold)->Arg(55)->Arg(65)->Arg(75);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // This bench is fully deterministic; --seed is accepted for a uniform CLI.
+  (void)ftl::bench::extract_seed(argc, argv, 0);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

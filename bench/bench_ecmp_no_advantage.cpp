@@ -10,6 +10,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "ecmp/no_signaling.hpp"
 #include "ecmp/simulator.hpp"
 #include "ecmp/strategies.hpp"
@@ -19,6 +20,8 @@
 namespace {
 
 using namespace ftl;
+
+std::uint64_t g_seed = 7;  // EcmpConfig default; override with --seed
 
 void BM_NoSignalingDeviation(benchmark::State& state) {
   const auto rho = qcore::Density::from_state(
@@ -56,6 +59,7 @@ void BM_EcmpSimulation(benchmark::State& state) {
   ecmp::EcmpConfig cfg;
   cfg.active = 2;
   cfg.rounds = 50000;
+  cfg.seed = g_seed;
   double ind = 0.0;
   double part = 0.0;
   for (auto _ : state) {
@@ -72,6 +76,7 @@ BENCHMARK(BM_EcmpSimulation)->Arg(3)->Arg(4)->Arg(6)->Unit(benchmark::kMilliseco
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -85,6 +90,7 @@ int main(int argc, char** argv) {
     ecmp::EcmpConfig cfg;
     cfg.active = 2;
     cfg.rounds = 100000;
+    cfg.seed = g_seed;
     ecmp::IndependentUniform s_ind(n, 2);
     ecmp::PairedSinglets s_singlet(n);
     ecmp::SharedPartition s_part(n, 2);

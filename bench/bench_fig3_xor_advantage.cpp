@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "games/affinity.hpp"
 #include "games/realize.hpp"
 #include "games/xor_game.hpp"
@@ -18,6 +19,8 @@
 #include "util/table.hpp"
 
 namespace {
+
+std::uint64_t g_seed = 1000;  // per-point base seed; override with --seed
 
 constexpr std::size_t kVertices = 5;
 constexpr int kGraphsPerPoint = 60;
@@ -61,7 +64,7 @@ void BM_Fig3_AdvantageProbability(benchmark::State& state) {
   const double p = static_cast<double>(state.range(0)) / 10.0;
   PointResult r{};
   for (auto _ : state) {
-    r = measure_point(p, 1000 + state.range(0));
+    r = measure_point(p, g_seed + static_cast<std::uint64_t>(state.range(0)));
   }
   state.counters["p_exclusive"] = p;
   state.counters["p_advantage"] = r.p_advantage;
@@ -77,6 +80,7 @@ BENCHMARK(BM_Fig3_AdvantageProbability)
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -85,8 +89,8 @@ int main(int argc, char** argv) {
   ftl::util::Table table(
       {"p_exclusive", "P(quantum advantage)", "ci95", "mean bias gap"});
   for (int i = 0; i <= 10; ++i) {
-    const PointResult r =
-        measure_point(static_cast<double>(i) / 10.0, 1000 + i);
+    const PointResult r = measure_point(static_cast<double>(i) / 10.0,
+                                        g_seed + static_cast<std::uint64_t>(i));
     table.add_row({r.p_exclusive, r.p_advantage, r.ci95, r.mean_gap});
   }
   std::cout << "\nFigure 3 reproduction (5-vertex affinity graphs, "
@@ -97,7 +101,7 @@ int main(int argc, char** argv) {
   // (Tsirelson construction, played on the simulator).
   std::cout << "\nRealization spot check (first 3 advantaged graphs at "
                "p = 0.5):\n";
-  ftl::util::Rng rng(2025);
+  ftl::util::Rng rng(g_seed + 1025);
   ftl::util::Table rt({"graph", "classical", "quantum (SDP)",
                        "quantum (realized)", "qubits/party"});
   int shown = 0;
@@ -106,7 +110,7 @@ int main(int argc, char** argv) {
     const auto game = ftl::games::XorGame::from_affinity(graph);
     ftl::sdp::GramOptions opts;
     opts.restarts = 8;
-    opts.seed = 31337 + static_cast<std::uint64_t>(g);
+    opts.seed = g_seed + 30337 + static_cast<std::uint64_t>(g);
     const auto vectors = game.quantum_bias(opts);
     const double cb = game.classical_bias();
     if (vectors.bias <= cb + 1e-4) continue;

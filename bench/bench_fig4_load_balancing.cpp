@@ -11,6 +11,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "correlate/decision_source.hpp"
 #include "lb/simulator.hpp"
 #include "util/table.hpp"
@@ -19,6 +20,8 @@ namespace {
 
 using ftl::lb::LbConfig;
 using ftl::lb::LbResult;
+
+std::uint64_t g_seed = 20250705;  // override with --seed
 
 constexpr std::size_t kBalancers = 100;
 // M values giving loads N/M from 0.67 to 2.5.
@@ -32,7 +35,7 @@ LbConfig base_config(std::size_t servers) {
   cfg.p_colocate = 0.5;
   cfg.warmup_steps = 1000;
   cfg.measure_steps = 4000;
-  cfg.seed = 20250705;
+  cfg.seed = g_seed;
   return cfg;
 }
 
@@ -76,6 +79,7 @@ BENCHMARK_CAPTURE(BM_Fig4, omniscient_bound, "omniscient")
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

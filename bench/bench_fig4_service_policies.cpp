@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "correlate/decision_source.hpp"
 #include "lb/simulator.hpp"
 #include "util/table.hpp"
@@ -13,6 +14,8 @@
 namespace {
 
 using namespace ftl;
+
+std::uint64_t g_seed = 99;  // override with --seed
 
 lb::LbResult run_once(std::size_t servers, lb::ServicePolicy policy,
                       bool quantum) {
@@ -22,7 +25,7 @@ lb::LbResult run_once(std::size_t servers, lb::ServicePolicy policy,
   cfg.policy = policy;
   cfg.warmup_steps = 800;
   cfg.measure_steps = 3000;
-  cfg.seed = 99;
+  cfg.seed = g_seed;
   if (quantum) {
     lb::PairedStrategy strat(std::make_unique<correlate::ChshSource>(1.0));
     return run_lb_sim(cfg, strat);
@@ -60,6 +63,7 @@ BENCHMARK_CAPTURE(BM_Policy, e_first, lb::ServicePolicy::kEFirst)
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "games/magic_square.hpp"
 #include "games/multiparty.hpp"
 #include "util/rng.hpp"
@@ -14,6 +15,8 @@
 namespace {
 
 using namespace ftl;
+
+std::uint64_t g_seed = 3;  // sampled-play streams; override with --seed
 
 void BM_MerminClassical(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -40,7 +43,7 @@ BENCHMARK(BM_MerminQuantumExact)->Arg(3)->Arg(4)->Arg(5)->Arg(6)
 void BM_MerminSampledPlay(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const games::GhzParityGame game(n);
-  util::Rng rng(3);
+  util::Rng rng(g_seed);
   double win = 0.0;
   for (auto _ : state) {
     int wins = 0;
@@ -59,6 +62,7 @@ BENCHMARK(BM_MerminSampledPlay)->Arg(3)->Arg(5)
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -80,7 +84,7 @@ int main(int argc, char** argv) {
 
   // Pseudo-telepathy: the magic square game (paper ref [11]).
   const games::MagicSquareGame square;
-  util::Rng rng(99);
+  util::Rng rng(g_seed + 96);
   int wins = 0;
   const int rounds = 2000;
   for (int i = 0; i < rounds; ++i) {

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "correlate/decision_source.hpp"
 #include "lb/simulator.hpp"
 #include "qnet/decoherence.hpp"
@@ -20,13 +21,15 @@ namespace {
 
 using namespace ftl;
 
+std::uint64_t g_seed = 777;  // override with --seed
+
 double lb_queue_at_knee(double visibility) {
   lb::LbConfig cfg;
   cfg.num_balancers = 100;
   cfg.num_servers = 86;  // load ~1.16
   cfg.warmup_steps = 800;
   cfg.measure_steps = 3000;
-  cfg.seed = 777;
+  cfg.seed = g_seed;
   lb::PairedStrategy strat(
       std::make_unique<correlate::ChshSource>(visibility));
   return run_lb_sim(cfg, strat).mean_queue_length;
@@ -77,6 +80,7 @@ BENCHMARK(BM_WinVsStorageTime)
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

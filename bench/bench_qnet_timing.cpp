@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/coordinator.hpp"
 #include "qnet/broker.hpp"
 #include "qnet/timing.hpp"
@@ -19,13 +20,15 @@ namespace {
 
 using namespace ftl;
 
+std::uint64_t g_seed = 55;  // supply-simulation streams; override with --seed
+
 void BM_PairSupplyHitRate(benchmark::State& state) {
   const double rate = std::pow(10.0, static_cast<double>(state.range(0)));
   qnet::QnetConfig cfg;
   cfg.pair_rate_hz = rate;
   qnet::BrokerStats stats{};
   for (auto _ : state) {
-    util::Rng rng(55);
+    util::Rng rng(g_seed);
     stats = qnet::simulate_pair_supply(cfg, 1e4, 0.5, rng);
   }
   state.counters["pair_rate_hz"] = rate;
@@ -43,7 +46,7 @@ void BM_BrokerThroughput(benchmark::State& state) {
   cfg.pair_rate_hz = 1e5;
   std::size_t events = 0;
   for (auto _ : state) {
-    util::Rng rng(66);
+    util::Rng rng(g_seed + 11);
     const auto stats = qnet::simulate_pair_supply(cfg, 1e4, 0.2, rng);
     events = stats.pairs_generated + stats.requests;
   }
@@ -55,6 +58,7 @@ BENCHMARK(BM_BrokerThroughput)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -80,7 +84,8 @@ int main(int argc, char** argv) {
   for (double rate : {1e3, 1e4, 1e5, 1e6, 1e7}) {
     qnet::QnetConfig cfg;
     cfg.pair_rate_hz = rate;
-    const auto report = core::Coordinator::provision(cfg, 0.98, 1e4, 0.5, 91);
+    const auto report =
+        core::Coordinator::provision(cfg, 0.98, 1e4, 0.5, g_seed + 36);
     pt.add_row({rate, report.pair_hit_fraction,
                 report.mean_pair_age_s * 1e6,
                 report.effective_win_probability,

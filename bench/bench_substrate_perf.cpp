@@ -3,6 +3,7 @@
 // against performance regressions in the pieces every experiment uses.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "correlate/decision_source.hpp"
 #include "games/xor_game.hpp"
 #include "lb/simulator.hpp"
@@ -15,6 +16,8 @@
 namespace {
 
 using namespace ftl;
+
+std::uint64_t g_seed = 1;  // base for all microbench streams; --seed overrides
 
 void BM_StateVecApply1(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -30,7 +33,7 @@ void BM_StateVecApply1(benchmark::State& state) {
 BENCHMARK(BM_StateVecApply1)->Arg(4)->Arg(10)->Arg(16);
 
 void BM_StateVecMeasure(benchmark::State& state) {
-  util::Rng rng(1);
+  util::Rng rng(g_seed);
   const auto basis = qcore::gates::real_basis(0.3);
   for (auto _ : state) {
     qcore::StateVec psi = qcore::StateVec::ghz(8);
@@ -51,7 +54,7 @@ BENCHMARK(BM_DensityChannel);
 
 void BM_EighRandomHermitian(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(2);
+  util::Rng rng(g_seed + 1);
   qcore::CMat a(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     a.at(i, i) = qcore::Cx{rng.normal(), 0.0};
@@ -68,7 +71,7 @@ void BM_EighRandomHermitian(benchmark::State& state) {
 BENCHMARK(BM_EighRandomHermitian)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_XorQuantumBias5x5(benchmark::State& state) {
-  util::Rng rng(3);
+  util::Rng rng(g_seed + 2);
   const auto graph = games::AffinityGraph::random(5, 0.5, rng);
   const games::XorGame game = games::XorGame::from_affinity(graph);
   for (auto _ : state) {
@@ -78,7 +81,7 @@ void BM_XorQuantumBias5x5(benchmark::State& state) {
 BENCHMARK(BM_XorQuantumBias5x5)->Unit(benchmark::kMillisecond);
 
 void BM_XorClassicalBias(benchmark::State& state) {
-  util::Rng rng(4);
+  util::Rng rng(g_seed + 3);
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto graph = games::AffinityGraph::random(n, 0.5, rng);
   const games::XorGame game = games::XorGame::from_affinity(graph);
@@ -90,7 +93,7 @@ BENCHMARK(BM_XorClassicalBias)->Arg(5)->Arg(10)->Arg(14);
 
 void BM_ChshSourceDecide(benchmark::State& state) {
   correlate::ChshSource src(0.95);
-  util::Rng rng(5);
+  util::Rng rng(g_seed + 4);
   for (auto _ : state) {
     benchmark::DoNotOptimize(src.decide(1, 0, rng));
   }
@@ -104,7 +107,7 @@ void BM_LbSimStep(benchmark::State& state) {
   cfg.num_servers = 86;
   cfg.warmup_steps = 0;
   cfg.measure_steps = 200;
-  cfg.seed = 6;
+  cfg.seed = g_seed + 5;
   for (auto _ : state) {
     lb::PairedStrategy strat(std::make_unique<correlate::ChshSource>(1.0));
     benchmark::DoNotOptimize(run_lb_sim(cfg, strat));
@@ -115,4 +118,11 @@ BENCHMARK(BM_LbSimStep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

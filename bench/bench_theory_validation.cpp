@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "lb/analysis.hpp"
 #include "lb/simulator.hpp"
 #include "util/table.hpp"
@@ -15,6 +16,8 @@ namespace {
 
 using namespace ftl;
 
+std::uint64_t g_seed = 12;  // override with --seed
+
 lb::LbResult run_pure_e(std::size_t n, std::size_t m) {
   lb::LbConfig cfg;
   cfg.num_balancers = n;
@@ -22,7 +25,7 @@ lb::LbResult run_pure_e(std::size_t n, std::size_t m) {
   cfg.p_colocate = 0.0;
   cfg.warmup_steps = 3000;
   cfg.measure_steps = 30000;
-  cfg.seed = 12;
+  cfg.seed = g_seed;
   lb::RandomStrategy strat;
   return run_lb_sim(cfg, strat);
 }
@@ -47,6 +50,7 @@ BENCHMARK(BM_TheoryVsSim)
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -26,6 +26,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "correlate/typed_source.hpp"
 #include "lb/typed_simulator.hpp"
 #include "util/table.hpp"
@@ -33,6 +34,8 @@
 namespace {
 
 using namespace ftl;
+
+std::uint64_t g_seed = 77;  // override with --seed
 
 games::AffinityGraph binary_graph() {
   games::AffinityGraph g(2);
@@ -62,7 +65,7 @@ lb::LbResult run(const games::AffinityGraph& graph, const games::XorGame& game,
   cfg.measure_steps = 3000;
   cfg.policy = policy;
   cfg.interference = interference;
-  cfg.seed = 77;
+  cfg.seed = g_seed;
 
   std::unique_ptr<lb::TypedLbStrategy> strat;
   if (kind == "random") {
@@ -126,6 +129,7 @@ BENCHMARK_CAPTURE(BM_TypedSubtypes, quantum, "quantum")
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -204,7 +208,7 @@ int main(int argc, char** argv) {
       cfg.interference = 0.5;
       cfg.policy = lb::TypedServicePolicy::kPairsFirstFifo;
       cfg.mix_drift_period = drift;
-      cfg.seed = 11;
+      cfg.seed = g_seed + 11;
       lb::TypedRandomStrategy rnd;
       lb::TypedDedicatedStrategy ded({0, 1, 2}, 3);
       lb::TypedPairedStrategy qun(

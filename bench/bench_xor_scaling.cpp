@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "games/affinity.hpp"
 #include "games/xor_game.hpp"
 #include "util/rng.hpp"
@@ -14,6 +15,8 @@
 namespace {
 
 using namespace ftl;
+
+std::uint64_t g_seed = 500;  // per-point base seed; override with --seed
 
 double advantage_probability(std::size_t vertices, double p_exclusive,
                              int graphs, std::uint64_t seed) {
@@ -37,7 +40,7 @@ void BM_XorScaling(benchmark::State& state) {
   const auto vertices = static_cast<std::size_t>(state.range(0));
   double p = 0.0;
   for (auto _ : state) {
-    p = advantage_probability(vertices, 0.5, 40, 500 + vertices);
+    p = advantage_probability(vertices, 0.5, 40, g_seed + vertices);
   }
   state.counters["vertices"] = static_cast<double>(vertices);
   state.counters["p_advantage"] = p;
@@ -50,6 +53,7 @@ BENCHMARK(BM_XorScaling)
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -58,7 +62,7 @@ int main(int argc, char** argv) {
                "40 graphs/point):\n";
   util::Table t({"vertices", "P(quantum advantage)", "ci95"});
   for (std::size_t v = 3; v <= 7; ++v) {
-    const double p = advantage_probability(v, 0.5, 40, 500 + v);
+    const double p = advantage_probability(v, 0.5, 40, g_seed + v);
     t.add_row({static_cast<long long>(v), p,
                util::wilson_halfwidth(
                    static_cast<std::size_t>(p * 40.0 + 0.5), 40)});

@@ -221,7 +221,8 @@ bench/CMakeFiles/bench_distillation.dir/bench_distillation.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/qcore/density.hpp \
+ /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
+ /root/repo/src/util/args.hpp /root/repo/src/qcore/density.hpp \
  /root/repo/src/qcore/channels.hpp /root/repo/src/qcore/matrix.hpp \
  /root/repo/src/qcore/complex.hpp /usr/include/c++/12/complex \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \

@@ -221,15 +221,15 @@ bench/CMakeFiles/bench_ecmp_no_advantage.dir/bench_ecmp_no_advantage.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /root/repo/src/ecmp/no_signaling.hpp /root/repo/src/qcore/density.hpp \
- /root/repo/src/qcore/channels.hpp /root/repo/src/qcore/matrix.hpp \
- /root/repo/src/qcore/complex.hpp /usr/include/c++/12/complex \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/util/assert.hpp /root/repo/src/qcore/state.hpp \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/array \
- /root/repo/src/ecmp/simulator.hpp /root/repo/src/ecmp/strategies.hpp \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
+ /root/repo/src/util/args.hpp /root/repo/src/ecmp/no_signaling.hpp \
+ /root/repo/src/qcore/density.hpp /root/repo/src/qcore/channels.hpp \
+ /root/repo/src/qcore/matrix.hpp /root/repo/src/qcore/complex.hpp \
+ /usr/include/c++/12/complex /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/assert.hpp \
+ /root/repo/src/qcore/state.hpp /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/array /root/repo/src/ecmp/simulator.hpp \
+ /root/repo/src/ecmp/strategies.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \

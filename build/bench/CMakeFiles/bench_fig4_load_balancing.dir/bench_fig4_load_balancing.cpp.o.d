@@ -213,6 +213,7 @@ bench/CMakeFiles/bench_fig4_load_balancing.dir/bench_fig4_load_balancing.cpp.o: 
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/bench/bench_common.hpp /root/repo/src/util/args.hpp \
  /root/repo/src/correlate/decision_source.hpp \
  /root/repo/src/games/chsh.hpp /root/repo/src/games/game.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \

@@ -221,10 +221,10 @@ bench/CMakeFiles/bench_multiparty_games.dir/bench_multiparty_games.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /root/repo/src/games/magic_square.hpp /usr/include/c++/12/array \
- /root/repo/src/games/game.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
+ /root/repo/src/util/args.hpp /root/repo/src/games/magic_square.hpp \
+ /usr/include/c++/12/array /root/repo/src/games/game.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \

@@ -221,7 +221,8 @@ bench/CMakeFiles/bench_noise_ablation.dir/bench_noise_ablation.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
+ /root/repo/src/util/args.hpp \
  /root/repo/src/correlate/decision_source.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

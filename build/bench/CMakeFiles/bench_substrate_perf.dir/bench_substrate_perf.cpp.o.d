@@ -183,6 +183,7 @@ bench/CMakeFiles/bench_substrate_perf.dir/bench_substrate_perf.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/bench/bench_common.hpp /root/repo/src/util/args.hpp \
  /root/repo/src/correlate/decision_source.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \

@@ -234,6 +234,7 @@ bench/CMakeFiles/bench_supply_e2e.dir/bench_supply_e2e.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/bench/bench_common.hpp /root/repo/src/util/args.hpp \
  /root/repo/src/core/supply_source.hpp \
  /root/repo/src/core/correlated_pair.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

@@ -200,7 +200,8 @@ bench/CMakeFiles/bench_theory_validation.dir/bench_theory_validation.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/lb/analysis.hpp \
+ /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
+ /root/repo/src/util/args.hpp /root/repo/src/lb/analysis.hpp \
  /root/repo/src/lb/simulator.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/lb/strategy.hpp /usr/include/c++/12/memory \

@@ -213,6 +213,7 @@ bench/CMakeFiles/bench_typed_subtypes.dir/bench_typed_subtypes.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/bench/bench_common.hpp /root/repo/src/util/args.hpp \
  /root/repo/src/correlate/typed_source.hpp \
  /root/repo/src/games/realize.hpp /root/repo/src/games/xor_game.hpp \
  /root/repo/src/games/affinity.hpp /root/repo/src/util/rng.hpp \

@@ -200,7 +200,8 @@ bench/CMakeFiles/bench_xor_scaling.dir/bench_xor_scaling.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/games/affinity.hpp \
+ /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
+ /root/repo/src/util/args.hpp /root/repo/src/games/affinity.hpp \
  /root/repo/src/util/rng.hpp /usr/include/c++/12/array \
  /root/repo/src/util/assert.hpp /root/repo/src/games/xor_game.hpp \
  /root/repo/src/games/game.hpp /usr/include/c++/12/functional \

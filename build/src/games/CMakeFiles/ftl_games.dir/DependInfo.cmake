@@ -12,6 +12,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/games/box.cpp" "src/games/CMakeFiles/ftl_games.dir/box.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/box.cpp.o.d"
   "/root/repo/src/games/chsh.cpp" "src/games/CMakeFiles/ftl_games.dir/chsh.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/chsh.cpp.o.d"
   "/root/repo/src/games/game.cpp" "src/games/CMakeFiles/ftl_games.dir/game.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/game.cpp.o.d"
+  "/root/repo/src/games/generators.cpp" "src/games/CMakeFiles/ftl_games.dir/generators.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/generators.cpp.o.d"
+  "/root/repo/src/games/invariants.cpp" "src/games/CMakeFiles/ftl_games.dir/invariants.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/invariants.cpp.o.d"
   "/root/repo/src/games/magic_square.cpp" "src/games/CMakeFiles/ftl_games.dir/magic_square.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/magic_square.cpp.o.d"
   "/root/repo/src/games/multiparty.cpp" "src/games/CMakeFiles/ftl_games.dir/multiparty.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/multiparty.cpp.o.d"
   "/root/repo/src/games/npa.cpp" "src/games/CMakeFiles/ftl_games.dir/npa.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/npa.cpp.o.d"

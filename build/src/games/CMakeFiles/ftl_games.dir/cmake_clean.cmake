@@ -7,6 +7,10 @@ file(REMOVE_RECURSE
   "CMakeFiles/ftl_games.dir/chsh.cpp.o.d"
   "CMakeFiles/ftl_games.dir/game.cpp.o"
   "CMakeFiles/ftl_games.dir/game.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/generators.cpp.o"
+  "CMakeFiles/ftl_games.dir/generators.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/invariants.cpp.o"
+  "CMakeFiles/ftl_games.dir/invariants.cpp.o.d"
   "CMakeFiles/ftl_games.dir/magic_square.cpp.o"
   "CMakeFiles/ftl_games.dir/magic_square.cpp.o.d"
   "CMakeFiles/ftl_games.dir/multiparty.cpp.o"

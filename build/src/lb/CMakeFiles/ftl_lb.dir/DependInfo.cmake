@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/lb/analysis.cpp" "src/lb/CMakeFiles/ftl_lb.dir/analysis.cpp.o" "gcc" "src/lb/CMakeFiles/ftl_lb.dir/analysis.cpp.o.d"
+  "/root/repo/src/lb/invariants.cpp" "src/lb/CMakeFiles/ftl_lb.dir/invariants.cpp.o" "gcc" "src/lb/CMakeFiles/ftl_lb.dir/invariants.cpp.o.d"
   "/root/repo/src/lb/server.cpp" "src/lb/CMakeFiles/ftl_lb.dir/server.cpp.o" "gcc" "src/lb/CMakeFiles/ftl_lb.dir/server.cpp.o.d"
   "/root/repo/src/lb/simulator.cpp" "src/lb/CMakeFiles/ftl_lb.dir/simulator.cpp.o" "gcc" "src/lb/CMakeFiles/ftl_lb.dir/simulator.cpp.o.d"
   "/root/repo/src/lb/strategy.cpp" "src/lb/CMakeFiles/ftl_lb.dir/strategy.cpp.o" "gcc" "src/lb/CMakeFiles/ftl_lb.dir/strategy.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ftl_lb.dir/analysis.cpp.o"
   "CMakeFiles/ftl_lb.dir/analysis.cpp.o.d"
+  "CMakeFiles/ftl_lb.dir/invariants.cpp.o"
+  "CMakeFiles/ftl_lb.dir/invariants.cpp.o.d"
   "CMakeFiles/ftl_lb.dir/server.cpp.o"
   "CMakeFiles/ftl_lb.dir/server.cpp.o.d"
   "CMakeFiles/ftl_lb.dir/simulator.cpp.o"

@@ -13,6 +13,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/qcore/eigen.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/eigen.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/eigen.cpp.o.d"
   "/root/repo/src/qcore/entanglement.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/entanglement.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/entanglement.cpp.o.d"
   "/root/repo/src/qcore/gates.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/gates.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/gates.cpp.o.d"
+  "/root/repo/src/qcore/generators.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/generators.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/generators.cpp.o.d"
+  "/root/repo/src/qcore/invariants.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/invariants.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/invariants.cpp.o.d"
   "/root/repo/src/qcore/matrix.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/matrix.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/matrix.cpp.o.d"
   "/root/repo/src/qcore/pauli.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/pauli.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/pauli.cpp.o.d"
   "/root/repo/src/qcore/state.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/state.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/state.cpp.o.d"

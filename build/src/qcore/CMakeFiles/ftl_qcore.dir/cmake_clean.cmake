@@ -9,6 +9,10 @@ file(REMOVE_RECURSE
   "CMakeFiles/ftl_qcore.dir/entanglement.cpp.o.d"
   "CMakeFiles/ftl_qcore.dir/gates.cpp.o"
   "CMakeFiles/ftl_qcore.dir/gates.cpp.o.d"
+  "CMakeFiles/ftl_qcore.dir/generators.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/generators.cpp.o.d"
+  "CMakeFiles/ftl_qcore.dir/invariants.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/invariants.cpp.o.d"
   "CMakeFiles/ftl_qcore.dir/matrix.cpp.o"
   "CMakeFiles/ftl_qcore.dir/matrix.cpp.o.d"
   "CMakeFiles/ftl_qcore.dir/pauli.cpp.o"

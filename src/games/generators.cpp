@@ -1,0 +1,103 @@
+#include "games/generators.hpp"
+
+#include <vector>
+
+#include "qcore/generators.hpp"
+#include "util/assert.hpp"
+
+namespace ftl::games {
+
+namespace {
+
+/// Normalised-exponential weights: Dirichlet(1), full support a.s.
+std::vector<double> dirichlet_weights(std::size_t n, util::Rng& rng) {
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (double& x : w) {
+    x = rng.exponential(1.0);
+    total += x;
+  }
+  for (double& x : w) x /= total;
+  return w;
+}
+
+}  // namespace
+
+XorGame random_xor_game(std::size_t num_x, std::size_t num_y,
+                        util::Rng& rng) {
+  FTL_ASSERT(num_x >= 1 && num_y >= 1);
+  std::vector<std::vector<int>> f(num_x, std::vector<int>(num_y));
+  for (auto& row : f) {
+    for (int& bit : row) bit = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  const std::vector<double> flat = dirichlet_weights(num_x * num_y, rng);
+  std::vector<std::vector<double>> pi(num_x, std::vector<double>(num_y));
+  for (std::size_t x = 0; x < num_x; ++x) {
+    for (std::size_t y = 0; y < num_y; ++y) pi[x][y] = flat[x * num_y + y];
+  }
+  return XorGame(std::move(f), std::move(pi));
+}
+
+QuantumStrategy random_quantum_strategy(std::size_t num_x, std::size_t num_y,
+                                        bool mixed, util::Rng& rng) {
+  qcore::Density state =
+      mixed ? qcore::random_density(2, rng)
+            : qcore::Density::from_state(qcore::random_state(2, rng));
+  std::vector<qcore::CMat> alice;
+  std::vector<qcore::CMat> bob;
+  for (std::size_t x = 0; x < num_x; ++x) {
+    alice.push_back(qcore::random_unitary(2, rng));
+  }
+  for (std::size_t y = 0; y < num_y; ++y) {
+    bob.push_back(qcore::random_unitary(2, rng));
+  }
+  return QuantumStrategy(std::move(state), std::move(alice), std::move(bob));
+}
+
+CorrelationBox random_local_box(util::Rng& rng) {
+  const std::vector<double> w = dirichlet_weights(16, rng);
+  CorrelationBox box;  // zero-initialised
+  for (int k = 0; k < 16; ++k) {
+    const int a0 = k & 1;
+    const int a1 = (k >> 1) & 1;
+    const int b0 = (k >> 2) & 1;
+    const int b1 = (k >> 3) & 1;
+    const int fa[2] = {a0, a1};
+    const int fb[2] = {b0, b1};
+    for (int x = 0; x < 2; ++x) {
+      for (int y = 0; y < 2; ++y) {
+        box.set(x, y, fa[x], fb[y],
+                box.p(x, y, fa[x], fb[y]) + w[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+  return box;
+}
+
+CorrelationBox random_quantum_box(util::Rng& rng) {
+  // Hoisted so the rng draw order is fixed regardless of the compiler's
+  // argument evaluation order (seeds must replay identically everywhere).
+  const bool mixed = rng.bernoulli(0.5);
+  return CorrelationBox::from_strategy(
+      random_quantum_strategy(2, 2, mixed, rng));
+}
+
+CorrelationBox signaling_box(double strength) {
+  FTL_ASSERT(strength > 0.0 && strength <= 1.0);
+  CorrelationBox box;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          // "a = y" box (b uniform) mixed with the uniform box.
+          const double copy_y = (a == y) ? 0.5 : 0.0;
+          box.set(x, y, a, b,
+                  strength * copy_y + (1.0 - strength) * 0.25);
+        }
+      }
+    }
+  }
+  return box;
+}
+
+}  // namespace ftl::games

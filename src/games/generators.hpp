@@ -1,0 +1,42 @@
+// Seeded random generators over games, strategies, and correlation boxes
+// for the property-based suites. Each family targets one level of the box
+// hierarchy (§2): local boxes, quantum boxes, and — for negative tests —
+// deliberately signaling boxes the checkers must reject.
+#pragma once
+
+#include <cstddef>
+
+#include "games/box.hpp"
+#include "games/strategy.hpp"
+#include "games/xor_game.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::games {
+
+/// Random XOR game: i.i.d. fair-coin predicate f[x][y] and a Dirichlet(1)
+/// (normalised-exponential) input distribution with full support.
+[[nodiscard]] XorGame random_xor_game(std::size_t num_x, std::size_t num_y,
+                                      util::Rng& rng);
+
+/// Random one-qubit-per-player strategy: Haar state (pure, or a full-rank
+/// mixed state when `mixed`), Haar measurement basis per input.
+[[nodiscard]] QuantumStrategy random_quantum_strategy(std::size_t num_x,
+                                                      std::size_t num_y,
+                                                      bool mixed,
+                                                      util::Rng& rng);
+
+/// Random *local* box: Dirichlet(1) mixture of the 16 deterministic boxes.
+/// Satisfies every classical law (valid, no-signaling, |CHSH| <= 2).
+[[nodiscard]] CorrelationBox random_local_box(util::Rng& rng);
+
+/// Random quantum box: Born probabilities of a random strategy. Valid,
+/// no-signaling, |CHSH| <= 2*sqrt(2).
+[[nodiscard]] CorrelationBox random_quantum_box(util::Rng& rng);
+
+/// Deliberately signaling box: the "a = y" box (Alice's output copies
+/// Bob's input — impossible without communication) mixed with uniform
+/// noise at weight `strength` in (0, 1]. Its no-signaling violation is
+/// exactly `strength`, so checkers can be tested quantitatively.
+[[nodiscard]] CorrelationBox signaling_box(double strength);
+
+}  // namespace ftl::games

@@ -1,0 +1,127 @@
+#include "qcore/generators.hpp"
+
+#include <cmath>
+
+#include "qcore/eigen.hpp"
+#include "qcore/gates.hpp"
+#include "util/assert.hpp"
+
+namespace ftl::qcore {
+
+CMat random_gaussian_matrix(std::size_t rows, std::size_t cols,
+                            util::Rng& rng) {
+  CMat g(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.at(r, c) = Cx{rng.normal(), rng.normal()};
+    }
+  }
+  return g;
+}
+
+StateVec random_state(std::size_t num_qubits, util::Rng& rng) {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  std::vector<Cx> amps(dim);
+  for (auto& a : amps) a = Cx{rng.normal(), rng.normal()};
+  normalize(amps);
+  return StateVec::from_amplitudes(std::move(amps));
+}
+
+CMat random_unitary(std::size_t dim, util::Rng& rng) {
+  // Gram-Schmidt on Gaussian columns; the resulting distribution is Haar.
+  CMat u = random_gaussian_matrix(dim, dim, rng);
+  for (std::size_t c = 0; c < dim; ++c) {
+    std::vector<Cx> col(dim);
+    for (std::size_t r = 0; r < dim; ++r) col[r] = u.at(r, c);
+    for (std::size_t prev = 0; prev < c; ++prev) {
+      std::vector<Cx> pcol(dim);
+      for (std::size_t r = 0; r < dim; ++r) pcol[r] = u.at(r, prev);
+      const Cx overlap = inner(pcol, col);
+      for (std::size_t r = 0; r < dim; ++r) col[r] -= overlap * pcol[r];
+    }
+    normalize(col);
+    for (std::size_t r = 0; r < dim; ++r) u.at(r, c) = col[r];
+  }
+  return u;
+}
+
+Density random_density(std::size_t num_qubits, util::Rng& rng) {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  const CMat g = random_gaussian_matrix(dim, dim, rng);
+  CMat rho = g * g.adjoint();
+  const double tr = rho.trace().real();
+  FTL_ASSERT(tr > 0.0);
+  rho *= Cx{1.0 / tr, 0.0};
+  // Exact re-symmetrisation so from_matrix's Hermiticity validation never
+  // trips on accumulated rounding.
+  rho = (rho + rho.adjoint()) * Cx{0.5, 0.0};
+  return Density::from_matrix(rho);
+}
+
+Channel random_channel(std::size_t num_kraus, util::Rng& rng) {
+  FTL_ASSERT(num_kraus >= 1);
+  Channel ch;
+  CMat s(2, 2);
+  for (std::size_t k = 0; k < num_kraus; ++k) {
+    ch.kraus.push_back(random_gaussian_matrix(2, 2, rng));
+    s += ch.kraus.back().adjoint() * ch.kraus.back();
+  }
+  // S is PD almost surely; renormalise by S^{-1/2} so sum K'^dag K' = I.
+  s = (s + s.adjoint()) * Cx{0.5, 0.0};
+  const EigResult eig = eigh(s);
+  CMat inv_sqrt(2, 2);
+  for (std::size_t k = 0; k < 2; ++k) {
+    FTL_ASSERT_MSG(eig.values[k] > 1e-12, "Kraus Gram matrix not PD");
+    const double w = 1.0 / std::sqrt(eig.values[k]);
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t c = 0; c < 2; ++c) {
+        inv_sqrt.at(r, c) += Cx{w, 0.0} * eig.vectors.at(r, k) *
+                             std::conj(eig.vectors.at(c, k));
+      }
+    }
+  }
+  for (CMat& k : ch.kraus) k = k * inv_sqrt;
+  return ch;
+}
+
+PauliTerm random_pauli_term(std::size_t num_qubits, util::Rng& rng) {
+  static constexpr char kOps[] = {'I', 'X', 'Y', 'Z'};
+  PauliTerm term;
+  term.coefficient = rng.uniform(-1.0, 1.0);
+  term.ops.resize(num_qubits);
+  for (auto& op : term.ops) op = kOps[rng.uniform_int(std::uint64_t{4})];
+  return term;
+}
+
+PauliSum random_pauli_sum(std::size_t num_qubits, std::size_t num_terms,
+                          util::Rng& rng) {
+  std::vector<PauliTerm> terms;
+  terms.reserve(num_terms);
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    terms.push_back(random_pauli_term(num_qubits, rng));
+  }
+  return PauliSum(std::move(terms));
+}
+
+CMat pauli_sum_matrix(const PauliSum& op) {
+  FTL_ASSERT(!op.terms().empty());
+  const std::size_t n = op.num_qubits();
+  const std::size_t dim = std::size_t{1} << n;
+  CMat total(dim, dim);
+  for (const PauliTerm& term : op.terms()) {
+    CMat m = CMat::identity(1);
+    for (char p : term.ops) {
+      switch (p) {
+        case 'I': m = m.kron(gates::I()); break;
+        case 'X': m = m.kron(gates::X()); break;
+        case 'Y': m = m.kron(gates::Y()); break;
+        case 'Z': m = m.kron(gates::Z()); break;
+        default: FTL_ASSERT_MSG(false, "invalid Pauli op");
+      }
+    }
+    total += m * Cx{term.coefficient, 0.0};
+  }
+  return total;
+}
+
+}  // namespace ftl::qcore

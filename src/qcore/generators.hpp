@@ -1,0 +1,55 @@
+// Seeded random generators over quantum objects, for the property-based
+// suites (src/util/proptest.hpp). Everything draws from an explicit
+// util::Rng& so a failing case's seed regenerates the exact input.
+//
+// Distributions are chosen to cover the physically valid set, not to be
+// exactly Haar/Hilbert-Schmidt measure: Gaussian amplitudes normalised give
+// Haar states, Gram-Schmidt on Gaussian columns gives Haar unitaries, and
+// GG^dagger normalised / Kraus-renormalised constructions give full-support
+// densities and CPTP channels.
+#pragma once
+
+#include <cstddef>
+
+#include "qcore/channels.hpp"
+#include "qcore/density.hpp"
+#include "qcore/matrix.hpp"
+#include "qcore/pauli.hpp"
+#include "qcore/state.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::qcore {
+
+/// Standard complex Gaussian entry-wise.
+[[nodiscard]] CMat random_gaussian_matrix(std::size_t rows, std::size_t cols,
+                                          util::Rng& rng);
+
+/// Haar-random pure state on `num_qubits` qubits.
+[[nodiscard]] StateVec random_state(std::size_t num_qubits, util::Rng& rng);
+
+/// Haar-random unitary (Gram-Schmidt on Gaussian columns).
+[[nodiscard]] CMat random_unitary(std::size_t dim, util::Rng& rng);
+
+/// Full-rank random density matrix rho = G G^dagger / Tr(G G^dagger).
+[[nodiscard]] Density random_density(std::size_t num_qubits, util::Rng& rng);
+
+/// Random single-qubit CPTP channel with `num_kraus` Kraus operators:
+/// Gaussian A_k renormalised by S^{-1/2} where S = sum A_k^dagger A_k, so
+/// trace preservation holds by construction.
+[[nodiscard]] Channel random_channel(std::size_t num_kraus, util::Rng& rng);
+
+/// Random Pauli string on n qubits (each factor uniform over {I,X,Y,Z}),
+/// with coefficient drawn uniformly from [-1, 1].
+[[nodiscard]] PauliTerm random_pauli_term(std::size_t num_qubits,
+                                          util::Rng& rng);
+
+/// Sum of `num_terms` random Pauli strings.
+[[nodiscard]] PauliSum random_pauli_sum(std::size_t num_qubits,
+                                        std::size_t num_terms,
+                                        util::Rng& rng);
+
+/// Dense matrix of a Pauli string sum (kron of 2x2 factors), for
+/// cross-validating the string-wise fast path against plain linear algebra.
+[[nodiscard]] CMat pauli_sum_matrix(const PauliSum& op);
+
+}  // namespace ftl::qcore

@@ -1,0 +1,153 @@
+// Property suite: the box hierarchy (§2) on random behaviours.
+//
+// Local boxes must satisfy every classical law, quantum boxes must respect
+// Tsirelson's bound while staying no-signaling, and the checkers must
+// reject deliberately signaling boxes quantitatively.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "games/box.hpp"
+#include "games/generators.hpp"
+#include "games/invariants.hpp"
+#include "util/proptest.hpp"
+
+namespace {
+
+using ftl::games::CorrelationBox;
+using ftl::proptest::CaseResult;
+using ftl::proptest::for_all;
+using ftl::proptest::Options;
+using ftl::util::Rng;
+
+Options suite(const std::string& name, std::size_t cases = 150) {
+  Options o;
+  o.name = name;
+  o.cases = cases;
+  return o;
+}
+
+TEST(PropGamesBox, RandomLocalBoxesSatisfyAllClassicalLaws) {
+  const auto r = for_all(
+      suite("local-boxes-classical-laws", 200),
+      [](Rng& rng) { return ftl::games::random_local_box(rng); },
+      [](const CorrelationBox& box) {
+        const std::string violation = ftl::games::box_violation(box);
+        if (!violation.empty()) return CaseResult::fail(violation);
+        if (!box.is_local_admissible(1e-7)) {
+          return CaseResult::fail("local box breaks |CHSH| <= 2: S = " +
+                                  std::to_string(box.chsh_value()));
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropGamesBox, RandomQuantumBoxesRespectTsirelson) {
+  const auto r = for_all(
+      suite("quantum-boxes-tsirelson", 130),
+      [](Rng& rng) { return ftl::games::random_quantum_box(rng); },
+      [](const CorrelationBox& box) {
+        const std::string violation = ftl::games::box_violation(box);
+        if (!violation.empty()) return CaseResult::fail(violation);
+        if (!box.is_quantum_admissible(1e-7)) {
+          return CaseResult::fail(
+              "Born-rule box breaks Tsirelson: |S| = " +
+              std::to_string(std::abs(box.chsh_value())) + " > 2*sqrt(2)");
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropGamesBox, SignalingBoxesAreRejectedQuantitatively) {
+  const auto r = for_all(
+      suite("signaling-boxes-rejected", 150),
+      [](Rng& rng) { return rng.uniform(0.05, 1.0); },
+      [](const double& strength) {
+        const CorrelationBox box = ftl::games::signaling_box(strength);
+        if (!box.is_valid(1e-9)) {
+          return CaseResult::fail("signaling box should still be a valid "
+                                  "conditional distribution");
+        }
+        if (ftl::games::is_no_signaling(box)) {
+          return CaseResult::fail("checker missed signaling of strength " +
+                                  std::to_string(strength));
+        }
+        const double measured = box.no_signaling_violation();
+        if (std::abs(measured - strength) > 1e-9) {
+          return CaseResult::fail(
+              "violation magnitude wrong: expected " +
+              std::to_string(strength) + ", measured " +
+              std::to_string(measured));
+        }
+        return CaseResult::pass();
+      },
+      ftl::proptest::shrink_double);
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+// CHSH is linear in the box, so mixing must interpolate the CHSH value —
+// and a mixture of local boxes must stay local.
+TEST(PropGamesBox, MixingIsLinearAndPreservesLocality) {
+  struct Case {
+    CorrelationBox a;
+    CorrelationBox b;
+    double lambda;
+  };
+  const auto r = for_all(
+      suite("mixing-linearity", 150),
+      [](Rng& rng) {
+        Case c{ftl::games::random_local_box(rng),
+               ftl::games::random_local_box(rng), rng.uniform()};
+        return c;
+      },
+      [](const Case& c) {
+        const CorrelationBox mixed = c.a.mix(c.b, c.lambda);
+        const std::string violation = ftl::games::box_violation(mixed);
+        if (!violation.empty()) return CaseResult::fail(violation);
+        const double expected =
+            c.lambda * c.a.chsh_value() + (1.0 - c.lambda) * c.b.chsh_value();
+        if (std::abs(mixed.chsh_value() - expected) > 1e-9) {
+          return CaseResult::fail("CHSH not linear under mixing");
+        }
+        if (!mixed.is_local_admissible(1e-7)) {
+          return CaseResult::fail("mixture of local boxes left the local set");
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+// The PR box mixed with uniform noise crosses the classical and quantum
+// boundaries exactly where theory says: S = 4*lambda, local iff
+// lambda <= 1/2, quantum-admissible iff lambda <= 1/sqrt(2).
+TEST(PropGamesBox, NoisyPrBoxCrossesBoundsAtTheoreticalThresholds) {
+  const auto r = for_all(
+      suite("noisy-pr-box-thresholds", 150),
+      [](Rng& rng) { return rng.uniform(); },
+      [](const double& lambda) {
+        const CorrelationBox box =
+            CorrelationBox::pr_box().mix(CorrelationBox::uniform(), lambda);
+        const std::string violation = ftl::games::box_violation(box);
+        if (!violation.empty()) return CaseResult::fail(violation);
+        if (std::abs(box.chsh_value() - 4.0 * lambda) > 1e-9) {
+          return CaseResult::fail("S(lambda) != 4*lambda");
+        }
+        const bool local = box.is_local_admissible(1e-9);
+        if (local != (lambda <= 0.5 + 1e-9)) {
+          return CaseResult::fail("local boundary misplaced at lambda = " +
+                                  std::to_string(lambda));
+        }
+        const bool quantum = box.is_quantum_admissible(1e-9);
+        if (quantum != (lambda <= 1.0 / std::sqrt(2.0) + 1e-9)) {
+          return CaseResult::fail("Tsirelson boundary misplaced at lambda = " +
+                                  std::to_string(lambda));
+        }
+        return CaseResult::pass();
+      },
+      ftl::proptest::shrink_double);
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Property suite: the classical <= quantum <= NPA-1 sandwich on random XOR
+// games — the Ambainis–Iraids-style randomized separation check that
+// certifies every advantage number the benches report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "games/generators.hpp"
+#include "games/invariants.hpp"
+#include "games/xor_game.hpp"
+#include "util/proptest.hpp"
+
+namespace {
+
+using ftl::games::SeesawOptions;
+using ftl::games::XorGame;
+using ftl::proptest::CaseResult;
+using ftl::proptest::for_all;
+using ftl::proptest::Options;
+using ftl::sdp::GramOptions;
+using ftl::util::Rng;
+
+Options suite(const std::string& name, std::size_t cases) {
+  Options o;
+  o.name = name;
+  o.cases = cases;
+  return o;
+}
+
+// Solver settings sized for property-test throughput; the per-case seed
+// keeps the whole pipeline (game + solvers) replayable from one number.
+GramOptions sdp_opts(Rng& rng) {
+  GramOptions o;
+  o.restarts = 3;
+  o.max_sweeps = 300;
+  o.seed = rng.next_u64();
+  return o;
+}
+
+SeesawOptions seesaw_opts(Rng& rng) {
+  SeesawOptions o;
+  o.restarts = 2;
+  o.max_rounds = 40;
+  o.seed = rng.next_u64();
+  return o;
+}
+
+struct SandwichCase {
+  XorGame game;
+  GramOptions sdp;
+  SeesawOptions seesaw;
+};
+
+CaseResult check_sandwich(const SandwichCase& c) {
+  const auto s = ftl::games::value_sandwich(c.game, c.sdp, c.seesaw);
+  if (!s.consistent(1e-4)) {
+    return CaseResult::fail("sandwich violated: " + s.describe());
+  }
+  return CaseResult::pass();
+}
+
+TEST(PropGamesSandwich, TwoInputXorGamesSatisfyFullSandwich) {
+  const auto r = for_all(
+      suite("sandwich-2x2", 100),
+      [](Rng& rng) {
+        SandwichCase c{ftl::games::random_xor_game(2, 2, rng), sdp_opts(rng),
+                       seesaw_opts(rng)};
+        return c;
+      },
+      check_sandwich);
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropGamesSandwich, LargerXorGamesSatisfyClassicalQuantumOrder) {
+  const auto r = for_all(
+      suite("sandwich-3x3", 100),
+      [](Rng& rng) {
+        const std::size_t nx = 2 + rng.uniform_int(std::uint64_t{2});
+        const std::size_t ny = 2 + rng.uniform_int(std::uint64_t{2});
+        SandwichCase c{ftl::games::random_xor_game(nx, ny, rng),
+                       sdp_opts(rng), seesaw_opts(rng)};
+        return c;
+      },
+      check_sandwich);
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+// The exhaustive classical search must return a *witness* that actually
+// attains the value it claims, and the value must be a true maximum over a
+// random sample of deterministic sign assignments.
+TEST(PropGamesSandwich, ClassicalWitnessAttainsItsClaimedBias) {
+  struct Case {
+    XorGame game;
+    std::vector<int> probe_alice;
+    std::vector<int> probe_bob;
+  };
+  const auto r = for_all(
+      suite("classical-witness", 150),
+      [](Rng& rng) {
+        const std::size_t nx = 2 + rng.uniform_int(std::uint64_t{3});
+        const std::size_t ny = 2 + rng.uniform_int(std::uint64_t{3});
+        Case c{ftl::games::random_xor_game(nx, ny, rng), {}, {}};
+        for (std::size_t x = 0; x < nx; ++x) {
+          c.probe_alice.push_back(rng.bernoulli(0.5) ? 1 : 0);
+        }
+        for (std::size_t y = 0; y < ny; ++y) {
+          c.probe_bob.push_back(rng.bernoulli(0.5) ? 1 : 0);
+        }
+        return c;
+      },
+      [](const Case& c) {
+        const auto strat = c.game.classical_strategy();
+        const auto cost = c.game.cost_matrix();
+        auto bias_of = [&](const std::vector<int>& fa,
+                           const std::vector<int>& fb) {
+          double bias = 0.0;
+          for (std::size_t x = 0; x < c.game.num_x(); ++x) {
+            for (std::size_t y = 0; y < c.game.num_y(); ++y) {
+              const double sa = fa[x] == 0 ? 1.0 : -1.0;
+              const double sb = fb[y] == 0 ? 1.0 : -1.0;
+              bias += cost[x][y] * sa * sb;
+            }
+          }
+          return bias;
+        };
+        if (std::abs(bias_of(strat.alice, strat.bob) - strat.bias) > 1e-9) {
+          return CaseResult::fail("witness does not attain its claimed bias");
+        }
+        if (std::abs(strat.bias - c.game.classical_bias()) > 1e-9) {
+          return CaseResult::fail("witness bias != classical_bias()");
+        }
+        if (bias_of(c.probe_alice, c.probe_bob) > strat.bias + 1e-9) {
+          return CaseResult::fail("a random strategy beat the 'optimal' one");
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace

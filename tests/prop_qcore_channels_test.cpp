@@ -1,0 +1,185 @@
+// Property suite: channel laws (CPTP via the Choi matrix) on random inputs,
+// plus the acceptance-criterion negative test — a deliberately broken
+// (non-trace-preserving) channel must be caught with a replayable seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcore/channels.hpp"
+#include "qcore/density.hpp"
+#include "qcore/generators.hpp"
+#include "qcore/invariants.hpp"
+#include "util/proptest.hpp"
+
+namespace {
+
+using ftl::proptest::CaseResult;
+using ftl::proptest::for_all;
+using ftl::proptest::Options;
+using ftl::qcore::Channel;
+using ftl::qcore::CMat;
+using ftl::qcore::Cx;
+using ftl::qcore::Density;
+using ftl::util::Rng;
+
+Options suite(const std::string& name, std::size_t cases = 150) {
+  Options o;
+  o.name = name;
+  o.cases = cases;
+  return o;
+}
+
+// Every built-in noise family must be CPTP across its whole parameter
+// range, and the Choi-based trace-preservation check must agree with the
+// production Channel::is_trace_preserving (two independent code paths).
+TEST(PropQcoreChannels, BuiltinChannelsAreCptpAtRandomParameters) {
+  struct Case {
+    Channel ch;
+    std::string family;
+  };
+  const auto r = for_all(
+      suite("builtin-channels-cptp", 160),
+      [](Rng& rng) {
+        // Hit the edge parameters 0 and 1 with finite probability so the
+        // suite covers the boundary every run, not just the interior.
+        double p = rng.uniform();
+        const auto edge = rng.uniform_int(std::uint64_t{8});
+        if (edge == 0) p = 0.0;
+        if (edge == 1) p = 1.0;
+        switch (rng.uniform_int(std::uint64_t{4})) {
+          case 0: return Case{ftl::qcore::depolarizing(p), "depolarizing"};
+          case 1: return Case{ftl::qcore::dephasing(p), "dephasing"};
+          case 2:
+            return Case{ftl::qcore::amplitude_damping(p), "amplitude_damping"};
+          default: return Case{ftl::qcore::bit_flip(p), "bit_flip"};
+        }
+      },
+      [](const Case& c) {
+        if (!ftl::qcore::is_cptp(c.ch)) {
+          return CaseResult::fail(c.family + " is not CPTP");
+        }
+        if (ftl::qcore::choi_trace_preserving(c.ch) !=
+            c.ch.is_trace_preserving()) {
+          return CaseResult::fail(
+              c.family + ": Choi TP check disagrees with Kraus TP check");
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropQcoreChannels, RandomKrausChannelsAreCptp) {
+  const auto r = for_all(
+      suite("random-channels-cptp", 150),
+      [](Rng& rng) {
+        return ftl::qcore::random_channel(
+            1 + rng.uniform_int(std::uint64_t{4}), rng);
+      },
+      [](const Channel& ch) {
+        if (!ftl::qcore::is_completely_positive(ch)) {
+          return CaseResult::fail("Choi matrix not PSD");
+        }
+        if (!ftl::qcore::choi_trace_preserving(ch)) {
+          return CaseResult::fail("Choi partial trace != identity");
+        }
+        if (!ch.is_trace_preserving()) {
+          return CaseResult::fail("Kraus completeness relation violated");
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropQcoreChannels, ChannelsPreserveDensityValidity) {
+  struct Case {
+    Density rho;
+    Channel ch;
+    std::size_t qubit;
+  };
+  const auto r = for_all(
+      suite("channels-preserve-density", 130),
+      [](Rng& rng) {
+        const std::size_t n = 1 + rng.uniform_int(std::uint64_t{2});
+        Case c{ftl::qcore::random_density(n, rng),
+               ftl::qcore::random_channel(1 + rng.uniform_int(std::uint64_t{3}),
+                                          rng),
+               rng.uniform_int(n)};
+        return c;
+      },
+      [](const Case& c) {
+        Density evolved = c.rho;
+        evolved.apply_channel(c.ch, c.qubit);
+        const std::string violation =
+            ftl::qcore::density_violation(evolved.matrix(), 1e-7);
+        if (!violation.empty()) {
+          return CaseResult::fail("post-channel state broken: " + violation);
+        }
+        if (evolved.purity() > 1.0 + 1e-7) {
+          return CaseResult::fail("purity " + std::to_string(evolved.purity()) +
+                                  " exceeds 1");
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropQcoreChannels, StorageDecoherenceIsCptpForPhysicalTimes) {
+  const auto r = for_all(
+      suite("storage-decoherence-cptp", 130),
+      [](Rng& rng) {
+        const double t1 = rng.uniform(1e-4, 2.0);
+        // Physical memories satisfy T2 <= 2*T1.
+        const double t2 = rng.uniform(1e-4, 2.0 * t1);
+        const double t = rng.uniform(0.0, 3.0 * t1);
+        return ftl::qcore::storage_decoherence(t, t1, t2);
+      },
+      [](const std::vector<Channel>& chain) {
+        for (const Channel& ch : chain) {
+          if (!ftl::qcore::is_cptp(ch)) {
+            return CaseResult::fail("storage stage not CPTP");
+          }
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+// Acceptance criterion: a deliberately broken invariant is *caught*, and
+// the printed seed replays the failure. The broken object is a
+// depolarizing channel whose Kraus operators are rescaled by s != 1 — the
+// completeness relation fails by design, and is_cptp must say so.
+TEST(PropQcoreChannels, BrokenChannelIsCaughtWithReplayableSeed) {
+  auto gen = [](Rng& rng) {
+    Channel ch = ftl::qcore::depolarizing(rng.uniform(0.0, 1.0));
+    // Scale away from trace preservation; s is bounded away from 1.
+    const double s =
+        rng.bernoulli(0.5) ? rng.uniform(1.1, 2.0) : rng.uniform(0.3, 0.9);
+    for (CMat& k : ch.kraus) k = k * Cx{s, 0.0};
+    return ch;
+  };
+  auto prop = [](const Channel& ch) {
+    return ftl::qcore::is_cptp(ch)
+               ? CaseResult::pass()
+               : CaseResult::fail("non-trace-preserving channel detected");
+  };
+
+  // Every case is broken, so for_all must fail at case 0 with a seed.
+  const auto r = for_all(suite("broken-channel-detected", 50), gen, prop);
+  ASSERT_FALSE(r.ok) << "the broken channel went undetected";
+  EXPECT_NE(r.message.find("non-trace-preserving channel detected"),
+            std::string::npos)
+      << r.message;
+  EXPECT_NE(r.message.find("reproduced (deterministic repro)"),
+            std::string::npos)
+      << r.message;
+
+  // The printed seed regenerates a channel that still fails the invariant.
+  const std::uint64_t seed = ftl::proptest::parse_reported_seed(r.message);
+  ASSERT_NE(seed, 0u);
+  Rng replay(seed);
+  const Channel again = gen(replay);
+  EXPECT_FALSE(ftl::qcore::is_cptp(again));
+  EXPECT_FALSE(again.is_trace_preserving());
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Property suite: state-vector laws on random inputs.
+//
+// Randomized cross-validation of the quantum core against plain linear
+// algebra — normalisation under Haar unitaries, Born-rule completeness, and
+// the Pauli-string fast path vs an explicitly materialised dense observable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qcore/generators.hpp"
+#include "qcore/invariants.hpp"
+#include "qcore/pauli.hpp"
+#include "util/proptest.hpp"
+
+namespace {
+
+using ftl::proptest::CaseResult;
+using ftl::proptest::for_all;
+using ftl::proptest::Options;
+using ftl::qcore::CMat;
+using ftl::qcore::Cx;
+using ftl::qcore::PauliSum;
+using ftl::qcore::StateVec;
+using ftl::util::Rng;
+
+Options suite(const std::string& name, std::size_t cases = 150) {
+  Options o;
+  o.name = name;
+  o.cases = cases;
+  return o;
+}
+
+TEST(PropQcoreState, RandomStatesAreNormalized) {
+  const auto r = for_all(
+      suite("random-states-normalized"),
+      [](Rng& rng) {
+        return ftl::qcore::random_state(1 + rng.uniform_int(std::uint64_t{3}),
+                                        rng);
+      },
+      [](const StateVec& psi) {
+        return ftl::qcore::is_normalized(psi) &&
+               ftl::qcore::is_density_matrix(psi.to_density());
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropQcoreState, RandomUnitariesAreUnitaryAndPreserveNorm) {
+  struct Case {
+    StateVec psi;
+    CMat u;
+    std::size_t qubit;
+  };
+  const auto r = for_all(
+      suite("unitaries-preserve-norm"),
+      [](Rng& rng) {
+        const std::size_t n = 1 + rng.uniform_int(std::uint64_t{3});
+        Case c{ftl::qcore::random_state(n, rng),
+               ftl::qcore::random_unitary(2, rng), rng.uniform_int(n)};
+        return c;
+      },
+      [](const Case& c) {
+        if (!c.u.is_unitary(1e-9)) {
+          return CaseResult::fail("generated matrix is not unitary");
+        }
+        StateVec evolved = c.psi;
+        evolved.apply1(c.u, c.qubit);
+        if (!ftl::qcore::is_normalized(evolved)) {
+          return CaseResult::fail("norm drifted to " +
+                                  std::to_string(evolved.norm()));
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropQcoreState, MeasurementProbabilitiesAreComplete) {
+  struct Case {
+    StateVec psi;
+    CMat basis;
+    std::size_t qubit;
+  };
+  const auto r = for_all(
+      suite("born-rule-completeness"),
+      [](Rng& rng) {
+        const std::size_t n = 1 + rng.uniform_int(std::uint64_t{3});
+        Case c{ftl::qcore::random_state(n, rng),
+               ftl::qcore::random_unitary(2, rng), rng.uniform_int(n)};
+        return c;
+      },
+      [](const Case& c) {
+        const double p0 = c.psi.outcome_probability(c.qubit, c.basis, 0);
+        const double p1 = c.psi.outcome_probability(c.qubit, c.basis, 1);
+        if (p0 < -1e-12 || p1 < -1e-12) {
+          return CaseResult::fail("negative outcome probability");
+        }
+        if (std::abs(p0 + p1 - 1.0) > 1e-9) {
+          return CaseResult::fail("P(0) + P(1) = " + std::to_string(p0 + p1));
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+// The string-wise Pauli fast path vs a dense kron-built observable: both
+// the matrix-vector action and the expectation value must agree.
+TEST(PropQcoreState, PauliSumMatchesDenseMatrix) {
+  struct Case {
+    StateVec psi;
+    PauliSum op;
+  };
+  const auto r = for_all(
+      suite("pauli-vs-dense", 120),
+      [](Rng& rng) {
+        const std::size_t n = 1 + rng.uniform_int(std::uint64_t{3});
+        const std::size_t terms = 1 + rng.uniform_int(std::uint64_t{4});
+        Case c{ftl::qcore::random_state(n, rng),
+               ftl::qcore::random_pauli_sum(n, terms, rng)};
+        return c;
+      },
+      [](const Case& c) {
+        const CMat dense = ftl::qcore::pauli_sum_matrix(c.op);
+        const std::vector<Cx> fast = c.op.apply(c.psi);
+        const std::vector<Cx> slow = dense.apply(c.psi.amplitudes());
+        for (std::size_t i = 0; i < fast.size(); ++i) {
+          if (std::abs(fast[i] - slow[i]) > 1e-9) {
+            return CaseResult::fail("O|psi> mismatch at amplitude " +
+                                    std::to_string(i));
+          }
+        }
+        const double fast_exp = c.op.expectation(c.psi);
+        const Cx slow_exp = ftl::qcore::inner(c.psi.amplitudes(), slow);
+        if (std::abs(fast_exp - slow_exp.real()) > 1e-9 ||
+            std::abs(slow_exp.imag()) > 1e-9) {
+          return CaseResult::fail(
+              "expectation mismatch: fast " + std::to_string(fast_exp) +
+              " vs dense " + std::to_string(slow_exp.real()));
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+// Expectation through the density-matrix path: Tr(rho O) for the pure-state
+// density must equal the state-vector expectation.
+TEST(PropQcoreState, DensityTraceMatchesStateExpectation) {
+  struct Case {
+    StateVec psi;
+    PauliSum op;
+  };
+  const auto r = for_all(
+      suite("density-vs-state-expectation", 120),
+      [](Rng& rng) {
+        const std::size_t n = 1 + rng.uniform_int(std::uint64_t{2});
+        Case c{ftl::qcore::random_state(n, rng),
+               ftl::qcore::random_pauli_sum(n, 3, rng)};
+        return c;
+      },
+      [](const Case& c) {
+        const CMat dense = ftl::qcore::pauli_sum_matrix(c.op);
+        const CMat rho = c.psi.to_density();
+        const Cx traced = (rho * dense).trace();
+        const double direct = c.op.expectation(c.psi);
+        if (std::abs(traced.real() - direct) > 1e-9) {
+          return CaseResult::fail("Tr(rho O) = " +
+                                  std::to_string(traced.real()) +
+                                  " vs <psi|O|psi> = " +
+                                  std::to_string(direct));
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace

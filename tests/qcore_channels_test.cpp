@@ -1,0 +1,146 @@
+// Unit tests for qcore/channels: CPTP at the edge parameters 0 and 1 for
+// every built-in family, the expected action on concrete states at those
+// edges, and the T1/T2 decay law of storage_decoherence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "qcore/channels.hpp"
+#include "qcore/density.hpp"
+#include "qcore/gates.hpp"
+#include "qcore/invariants.hpp"
+#include "qcore/state.hpp"
+
+namespace {
+
+using ftl::qcore::Channel;
+using ftl::qcore::CMat;
+using ftl::qcore::Cx;
+using ftl::qcore::Density;
+using ftl::qcore::StateVec;
+
+// |+> = (|0> + |1>)/sqrt(2): maximal coherence, the most noise-sensitive
+// single-qubit probe.
+Density plus_state() {
+  const double r = 1.0 / std::sqrt(2.0);
+  return Density::from_state(
+      StateVec::from_amplitudes({Cx{r, 0.0}, Cx{r, 0.0}}));
+}
+
+Density one_state() {
+  return Density::from_state(
+      StateVec::from_amplitudes({Cx{0.0, 0.0}, Cx{1.0, 0.0}}));
+}
+
+TEST(QcoreChannels, AllFamiliesAreCptpAtEdgeParameters) {
+  for (const double p : {0.0, 1.0}) {
+    EXPECT_TRUE(ftl::qcore::is_cptp(ftl::qcore::depolarizing(p)))
+        << "depolarizing(" << p << ")";
+    EXPECT_TRUE(ftl::qcore::is_cptp(ftl::qcore::dephasing(p)))
+        << "dephasing(" << p << ")";
+    EXPECT_TRUE(ftl::qcore::is_cptp(ftl::qcore::amplitude_damping(p)))
+        << "amplitude_damping(" << p << ")";
+    EXPECT_TRUE(ftl::qcore::is_cptp(ftl::qcore::bit_flip(p)))
+        << "bit_flip(" << p << ")";
+  }
+  EXPECT_TRUE(ftl::qcore::is_cptp(ftl::qcore::identity_channel()));
+}
+
+TEST(QcoreChannels, ZeroStrengthChannelsActAsIdentity) {
+  const std::vector<Channel> zero = {
+      ftl::qcore::depolarizing(0.0), ftl::qcore::dephasing(0.0),
+      ftl::qcore::amplitude_damping(0.0), ftl::qcore::bit_flip(0.0),
+      ftl::qcore::identity_channel()};
+  for (const Channel& ch : zero) {
+    Density rho = plus_state();
+    rho.apply_channel(ch, 0);
+    EXPECT_TRUE(rho.matrix().approx_equal(plus_state().matrix(), 1e-12));
+  }
+}
+
+TEST(QcoreChannels, FullDepolarizingYieldsMaximallyMixed) {
+  Density rho = plus_state();
+  rho.apply_channel(ftl::qcore::depolarizing(1.0), 0);
+  EXPECT_TRUE(rho.matrix().approx_equal(
+      Density::maximally_mixed(1).matrix(), 1e-12));
+  EXPECT_NEAR(rho.purity(), 0.5, 1e-12);
+}
+
+TEST(QcoreChannels, FullDephasingKillsCoherenceOnly) {
+  Density rho = plus_state();
+  rho.apply_channel(ftl::qcore::dephasing(1.0), 0);
+  // Populations survive, off-diagonals vanish.
+  EXPECT_NEAR(rho.matrix().at(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.matrix().at(1, 1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(rho.matrix().at(0, 1)), 0.0, 1e-12);
+}
+
+TEST(QcoreChannels, FullAmplitudeDampingRelaxesToGround) {
+  Density rho = one_state();
+  rho.apply_channel(ftl::qcore::amplitude_damping(1.0), 0);
+  EXPECT_NEAR(rho.matrix().at(0, 0).real(), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(rho.matrix().at(1, 1)), 0.0, 1e-12);
+}
+
+TEST(QcoreChannels, FullBitFlipConjugatesByX) {
+  Density rho = one_state();
+  rho.apply_channel(ftl::qcore::bit_flip(1.0), 0);
+  EXPECT_NEAR(rho.matrix().at(0, 0).real(), 1.0, 1e-12);
+  // And on a Z eigen-mixture it is an involution.
+  rho.apply_channel(ftl::qcore::bit_flip(1.0), 0);
+  EXPECT_TRUE(rho.matrix().approx_equal(one_state().matrix(), 1e-12));
+}
+
+TEST(QcoreChannels, ChannelsActOnTheAddressedQubitOnly) {
+  // Apply full dephasing to qubit 1 of a Bell pair: the reduced state of
+  // qubit 0 is untouched (it was already maximally mixed) and the joint
+  // state loses exactly its off-diagonal |00><11| coherence.
+  Density rho = Density::from_state(StateVec::bell_phi_plus());
+  rho.apply_channel(ftl::qcore::dephasing(1.0), 1);
+  EXPECT_NEAR(rho.matrix().at(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.matrix().at(3, 3).real(), 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(rho.matrix().at(0, 3)), 0.0, 1e-12);
+  const Density reduced = rho.partial_trace({1});
+  EXPECT_TRUE(reduced.matrix().approx_equal(
+      Density::maximally_mixed(1).matrix(), 1e-12));
+}
+
+TEST(QcoreChannels, StorageDecoherenceAtZeroTimeIsIdentity) {
+  const auto chain = ftl::qcore::storage_decoherence(0.0, 1.0, 1.5);
+  Density rho = plus_state();
+  for (const Channel& ch : chain) rho.apply_channel(ch, 0);
+  EXPECT_TRUE(rho.matrix().approx_equal(plus_state().matrix(), 1e-12));
+}
+
+TEST(QcoreChannels, StorageDecoherenceFollowsT1AndT2Laws) {
+  const double t1 = 0.8;
+  const double t2 = 1.1;  // t2 <= 2*t1
+  for (const double t : {0.1, 0.5, 1.3}) {
+    const auto chain = ftl::qcore::storage_decoherence(t, t1, t2);
+    for (const Channel& ch : chain) {
+      EXPECT_TRUE(ftl::qcore::is_cptp(ch));
+    }
+    // Population decay: <1|rho|1> = e^{-t/T1} starting from |1>.
+    Density excited = one_state();
+    for (const Channel& ch : chain) excited.apply_channel(ch, 0);
+    EXPECT_NEAR(excited.matrix().at(1, 1).real(), std::exp(-t / t1), 1e-9)
+        << "t = " << t;
+    // Coherence decay: |<0|rho|1>| = 0.5 * e^{-t/T2} starting from |+>.
+    Density coherent = plus_state();
+    for (const Channel& ch : chain) coherent.apply_channel(ch, 0);
+    EXPECT_NEAR(std::abs(coherent.matrix().at(0, 1)),
+                0.5 * std::exp(-t / t2), 1e-9)
+        << "t = " << t;
+  }
+}
+
+TEST(QcoreChannels, ChoiMatrixOfIdentityIsTheBellProjector) {
+  // J(id) = 2 |Phi+><Phi+| — the textbook fixed point of the Choi map and a
+  // direct check that choi_matrix uses the advertised convention.
+  const CMat j = ftl::qcore::choi_matrix(ftl::qcore::identity_channel());
+  const CMat bell = StateVec::bell_phi_plus().to_density();
+  EXPECT_TRUE(j.approx_equal(bell * Cx{2.0, 0.0}, 1e-12));
+}
+
+}  // namespace

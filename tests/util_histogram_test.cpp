@@ -1,0 +1,91 @@
+// Unit tests for util/histogram: bucket boundary placement, under/overflow
+// clamping, quantile edge cases, and the empty-histogram contract.
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+namespace {
+
+using ftl::util::Histogram;
+
+TEST(UtilHistogram, BucketBoundariesAreHalfOpen) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // exactly lo -> bin 0
+  h.add(0.999); // still bin 0
+  h.add(1.0);   // exactly an interior boundary -> upper bin (bin 1)
+  h.add(9.999); // last in-range value -> bin 9
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[9], 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(UtilHistogram, BinEdgesTileTheRangeExactly) {
+  Histogram h(-2.0, 3.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 3.0);
+  for (std::size_t i = 0; i + 1 < 5; ++i) {
+    EXPECT_DOUBLE_EQ(h.bin_hi(i), h.bin_lo(i + 1)) << "gap at bin " << i;
+  }
+  EXPECT_DOUBLE_EQ(h.bin_hi(0) - h.bin_lo(0), 1.0);
+}
+
+TEST(UtilHistogram, OutOfRangeSamplesAreClampedAndTallied) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(-3.0);   // underflow -> clamped into first bin
+  h.add(10.0);   // hi itself is out of the half-open range -> overflow
+  h.add(1e9);    // overflow -> clamped into last bin
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.counts().front(), 1u);
+  EXPECT_EQ(h.counts().back(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(UtilHistogram, QuantileUsesBinMidpoints) {
+  Histogram h(0.0, 10.0, 10);
+  // One sample per bin: quantile(k/10) lands on bin k-1's midpoint.
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.1), 0.5);
+}
+
+TEST(UtilHistogram, QuantileEdgeCases) {
+  Histogram empty(0.0, 1.0, 4);
+  // The empty histogram returns lo for every quantile rather than reading
+  // uninitialised bins.
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+
+  Histogram h(0.0, 8.0, 8);
+  h.add(5.3);  // single sample in bin 5 ([5, 6))
+  for (const double q : {0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 5.5) << "q = " << q;
+  }
+}
+
+TEST(UtilHistogram, P95MatchesDirectComputationOnAKnownSample) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  // ceil(0.95 * 100) = 95 samples -> bin index 94 -> midpoint 94.5.
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 94.5);
+}
+
+TEST(UtilHistogram, AsciiRendersOneLinePerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(10);
+  std::size_t lines = 0;
+  for (const char c : art) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, 4u);
+  // The fullest bin gets the full-width bar.
+  EXPECT_NE(art.find("##########"), std::string::npos);
+}
+
+}  // namespace

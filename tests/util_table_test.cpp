@@ -1,0 +1,100 @@
+// Unit tests for util/table: cell rendering (precision, integer vs double),
+// column alignment, row-arity enforcement, and CSV output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace {
+
+using ftl::util::Cell;
+using ftl::util::Table;
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(UtilTable, RendersDoublesAtConfiguredPrecision) {
+  Table t({"name", "value"});
+  t.add_row({std::string("pi"), 3.14159265});
+  std::ostringstream os4;
+  t.print(os4);
+  EXPECT_NE(os4.str().find("3.1416"), std::string::npos);
+
+  t.set_precision(2);
+  std::ostringstream os2;
+  t.print(os2);
+  EXPECT_NE(os2.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os2.str().find("3.1416"), std::string::npos);
+}
+
+TEST(UtilTable, IntegersRenderWithoutDecimals) {
+  Table t({"count"});
+  t.add_row({static_cast<long long>(42)});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+  EXPECT_EQ(os.str().find("42.0"), std::string::npos);
+}
+
+TEST(UtilTable, PrintAlignsAllRowsToTheSameWidth) {
+  Table t({"strategy", "throughput"});
+  t.add_row({std::string("random"), 0.25});
+  t.add_row({std::string("paired-quantum"), 0.853553});
+  std::ostringstream os;
+  t.print(os);
+  const auto lines = split_lines(os.str());
+  ASSERT_EQ(lines.size(), 4u);  // header + separator + 2 rows
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.size(), lines[0].size()) << "misaligned line: " << line;
+    EXPECT_EQ(line.front(), '|');
+    EXPECT_EQ(line.back(), '|');
+  }
+}
+
+TEST(UtilTable, NumRowsTracksAddedRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({1.0});
+  t.add_row({2.0});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(UtilTable, RowArityMismatchIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({1.0}), "row width must match header width");
+}
+
+TEST(UtilTable, CsvMirrorsHeadersAndRows) {
+  const std::string path =
+      ::testing::TempDir() + "util_table_test_output.csv";
+  {
+    Table t({"x", "y", "label"});
+    t.set_precision(3);
+    t.add_row({1.0, 2.5, std::string("first")});
+    t.add_row({static_cast<long long>(7), 0.125, std::string("second")});
+    t.write_csv(path);
+  }
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(f, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "x,y,label");
+  EXPECT_EQ(lines[1], "1.000,2.500,first");
+  EXPECT_EQ(lines[2], "7,0.125,second");
+  std::remove(path.c_str());
+}
+
+}  // namespace
