@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_biased_chsh.dir/bench_biased_chsh.cpp.o"
+  "CMakeFiles/bench_biased_chsh.dir/bench_biased_chsh.cpp.o.d"
+  "bench_biased_chsh"
+  "bench_biased_chsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_biased_chsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_caveats_ablation.dir/bench_caveats_ablation.cpp.o"
+  "CMakeFiles/bench_caveats_ablation.dir/bench_caveats_ablation.cpp.o.d"
+  "bench_caveats_ablation"
+  "bench_caveats_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_caveats_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

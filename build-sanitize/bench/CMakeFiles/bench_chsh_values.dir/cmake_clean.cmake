@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chsh_values.dir/bench_chsh_values.cpp.o"
+  "CMakeFiles/bench_chsh_values.dir/bench_chsh_values.cpp.o.d"
+  "bench_chsh_values"
+  "bench_chsh_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chsh_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

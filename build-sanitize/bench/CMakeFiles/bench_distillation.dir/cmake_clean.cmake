@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distillation.dir/bench_distillation.cpp.o"
+  "CMakeFiles/bench_distillation.dir/bench_distillation.cpp.o.d"
+  "bench_distillation"
+  "bench_distillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

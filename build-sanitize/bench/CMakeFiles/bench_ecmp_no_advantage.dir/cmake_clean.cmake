@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ecmp_no_advantage.dir/bench_ecmp_no_advantage.cpp.o"
+  "CMakeFiles/bench_ecmp_no_advantage.dir/bench_ecmp_no_advantage.cpp.o.d"
+  "bench_ecmp_no_advantage"
+  "bench_ecmp_no_advantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecmp_no_advantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ecmp_no_advantage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_xor_advantage.dir/bench_fig3_xor_advantage.cpp.o"
+  "CMakeFiles/bench_fig3_xor_advantage.dir/bench_fig3_xor_advantage.cpp.o.d"
+  "bench_fig3_xor_advantage"
+  "bench_fig3_xor_advantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_xor_advantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

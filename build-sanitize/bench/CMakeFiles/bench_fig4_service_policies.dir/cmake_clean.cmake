@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_service_policies.dir/bench_fig4_service_policies.cpp.o"
+  "CMakeFiles/bench_fig4_service_policies.dir/bench_fig4_service_policies.cpp.o.d"
+  "bench_fig4_service_policies"
+  "bench_fig4_service_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_service_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noise_ablation.dir/bench_noise_ablation.cpp.o"
+  "CMakeFiles/bench_noise_ablation.dir/bench_noise_ablation.cpp.o.d"
+  "bench_noise_ablation"
+  "bench_noise_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noise_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

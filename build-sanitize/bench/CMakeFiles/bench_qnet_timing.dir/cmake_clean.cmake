@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qnet_timing.dir/bench_qnet_timing.cpp.o"
+  "CMakeFiles/bench_qnet_timing.dir/bench_qnet_timing.cpp.o.d"
+  "bench_qnet_timing"
+  "bench_qnet_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qnet_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theory_validation.dir/bench_theory_validation.cpp.o"
+  "CMakeFiles/bench_theory_validation.dir/bench_theory_validation.cpp.o.d"
+  "bench_theory_validation"
+  "bench_theory_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_typed_subtypes.dir/bench_typed_subtypes.cpp.o"
+  "CMakeFiles/bench_typed_subtypes.dir/bench_typed_subtypes.cpp.o.d"
+  "bench_typed_subtypes"
+  "bench_typed_subtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_typed_subtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xor_scaling.dir/bench_xor_scaling.cpp.o"
+  "CMakeFiles/bench_xor_scaling.dir/bench_xor_scaling.cpp.o.d"
+  "bench_xor_scaling"
+  "bench_xor_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xor_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certify_game.dir/certify_game.cpp.o"
+  "CMakeFiles/certify_game.dir/certify_game.cpp.o.d"
+  "certify_game"
+  "certify_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certify_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecmp_study.dir/ecmp_study.cpp.o"
+  "CMakeFiles/ecmp_study.dir/ecmp_study.cpp.o.d"
+  "ecmp_study"
+  "ecmp_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecmp_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_explorer.dir/game_explorer.cpp.o"
+  "CMakeFiles/game_explorer.dir/game_explorer.cpp.o.d"
+  "game_explorer"
+  "game_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_sm_scheduler.dir/gpu_sm_scheduler.cpp.o"
+  "CMakeFiles/gpu_sm_scheduler.dir/gpu_sm_scheduler.cpp.o.d"
+  "gpu_sm_scheduler"
+  "gpu_sm_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_sm_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_cluster.dir/lb_cluster.cpp.o"
+  "CMakeFiles/lb_cluster.dir/lb_cluster.cpp.o.d"
+  "lb_cluster"
+  "lb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

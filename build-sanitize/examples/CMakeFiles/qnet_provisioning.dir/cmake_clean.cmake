@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnet_provisioning.dir/qnet_provisioning.cpp.o"
+  "CMakeFiles/qnet_provisioning.dir/qnet_provisioning.cpp.o.d"
+  "qnet_provisioning"
+  "qnet_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnet_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

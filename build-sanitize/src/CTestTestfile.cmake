@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-sanitize/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("qcore")
+subdirs("sdp")
+subdirs("games")
+subdirs("correlate")
+subdirs("sim")
+subdirs("qnet")
+subdirs("lb")
+subdirs("ecmp")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_core.dir/coordinator.cpp.o"
+  "CMakeFiles/ftl_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/ftl_core.dir/correlated_pair.cpp.o"
+  "CMakeFiles/ftl_core.dir/correlated_pair.cpp.o.d"
+  "CMakeFiles/ftl_core.dir/supply_source.cpp.o"
+  "CMakeFiles/ftl_core.dir/supply_source.cpp.o.d"
+  "libftl_core.a"
+  "libftl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_correlate.dir/decision_source.cpp.o"
+  "CMakeFiles/ftl_correlate.dir/decision_source.cpp.o.d"
+  "CMakeFiles/ftl_correlate.dir/typed_source.cpp.o"
+  "CMakeFiles/ftl_correlate.dir/typed_source.cpp.o.d"
+  "libftl_correlate.a"
+  "libftl_correlate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_correlate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecmp/no_signaling.cpp" "src/ecmp/CMakeFiles/ftl_ecmp.dir/no_signaling.cpp.o" "gcc" "src/ecmp/CMakeFiles/ftl_ecmp.dir/no_signaling.cpp.o.d"
+  "/root/repo/src/ecmp/simulator.cpp" "src/ecmp/CMakeFiles/ftl_ecmp.dir/simulator.cpp.o" "gcc" "src/ecmp/CMakeFiles/ftl_ecmp.dir/simulator.cpp.o.d"
+  "/root/repo/src/ecmp/strategies.cpp" "src/ecmp/CMakeFiles/ftl_ecmp.dir/strategies.cpp.o" "gcc" "src/ecmp/CMakeFiles/ftl_ecmp.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/qcore/CMakeFiles/ftl_qcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_ecmp.dir/no_signaling.cpp.o"
+  "CMakeFiles/ftl_ecmp.dir/no_signaling.cpp.o.d"
+  "CMakeFiles/ftl_ecmp.dir/simulator.cpp.o"
+  "CMakeFiles/ftl_ecmp.dir/simulator.cpp.o.d"
+  "CMakeFiles/ftl_ecmp.dir/strategies.cpp.o"
+  "CMakeFiles/ftl_ecmp.dir/strategies.cpp.o.d"
+  "libftl_ecmp.a"
+  "libftl_ecmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_ecmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/games/affinity.cpp" "src/games/CMakeFiles/ftl_games.dir/affinity.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/affinity.cpp.o.d"
+  "/root/repo/src/games/box.cpp" "src/games/CMakeFiles/ftl_games.dir/box.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/box.cpp.o.d"
+  "/root/repo/src/games/chsh.cpp" "src/games/CMakeFiles/ftl_games.dir/chsh.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/chsh.cpp.o.d"
+  "/root/repo/src/games/game.cpp" "src/games/CMakeFiles/ftl_games.dir/game.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/game.cpp.o.d"
+  "/root/repo/src/games/generators.cpp" "src/games/CMakeFiles/ftl_games.dir/generators.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/generators.cpp.o.d"
+  "/root/repo/src/games/invariants.cpp" "src/games/CMakeFiles/ftl_games.dir/invariants.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/invariants.cpp.o.d"
+  "/root/repo/src/games/magic_square.cpp" "src/games/CMakeFiles/ftl_games.dir/magic_square.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/magic_square.cpp.o.d"
+  "/root/repo/src/games/multiparty.cpp" "src/games/CMakeFiles/ftl_games.dir/multiparty.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/multiparty.cpp.o.d"
+  "/root/repo/src/games/npa.cpp" "src/games/CMakeFiles/ftl_games.dir/npa.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/npa.cpp.o.d"
+  "/root/repo/src/games/realize.cpp" "src/games/CMakeFiles/ftl_games.dir/realize.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/realize.cpp.o.d"
+  "/root/repo/src/games/seesaw.cpp" "src/games/CMakeFiles/ftl_games.dir/seesaw.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/seesaw.cpp.o.d"
+  "/root/repo/src/games/strategy.cpp" "src/games/CMakeFiles/ftl_games.dir/strategy.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/strategy.cpp.o.d"
+  "/root/repo/src/games/xor_game.cpp" "src/games/CMakeFiles/ftl_games.dir/xor_game.cpp.o" "gcc" "src/games/CMakeFiles/ftl_games.dir/xor_game.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/qcore/CMakeFiles/ftl_qcore.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sdp/CMakeFiles/ftl_sdp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

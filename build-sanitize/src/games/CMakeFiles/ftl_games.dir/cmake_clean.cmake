@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_games.dir/affinity.cpp.o"
+  "CMakeFiles/ftl_games.dir/affinity.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/box.cpp.o"
+  "CMakeFiles/ftl_games.dir/box.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/chsh.cpp.o"
+  "CMakeFiles/ftl_games.dir/chsh.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/game.cpp.o"
+  "CMakeFiles/ftl_games.dir/game.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/generators.cpp.o"
+  "CMakeFiles/ftl_games.dir/generators.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/invariants.cpp.o"
+  "CMakeFiles/ftl_games.dir/invariants.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/magic_square.cpp.o"
+  "CMakeFiles/ftl_games.dir/magic_square.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/multiparty.cpp.o"
+  "CMakeFiles/ftl_games.dir/multiparty.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/npa.cpp.o"
+  "CMakeFiles/ftl_games.dir/npa.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/realize.cpp.o"
+  "CMakeFiles/ftl_games.dir/realize.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/seesaw.cpp.o"
+  "CMakeFiles/ftl_games.dir/seesaw.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/strategy.cpp.o"
+  "CMakeFiles/ftl_games.dir/strategy.cpp.o.d"
+  "CMakeFiles/ftl_games.dir/xor_game.cpp.o"
+  "CMakeFiles/ftl_games.dir/xor_game.cpp.o.d"
+  "libftl_games.a"
+  "libftl_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

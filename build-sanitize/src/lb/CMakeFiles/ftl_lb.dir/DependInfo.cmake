@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/analysis.cpp" "src/lb/CMakeFiles/ftl_lb.dir/analysis.cpp.o" "gcc" "src/lb/CMakeFiles/ftl_lb.dir/analysis.cpp.o.d"
+  "/root/repo/src/lb/invariants.cpp" "src/lb/CMakeFiles/ftl_lb.dir/invariants.cpp.o" "gcc" "src/lb/CMakeFiles/ftl_lb.dir/invariants.cpp.o.d"
+  "/root/repo/src/lb/server.cpp" "src/lb/CMakeFiles/ftl_lb.dir/server.cpp.o" "gcc" "src/lb/CMakeFiles/ftl_lb.dir/server.cpp.o.d"
+  "/root/repo/src/lb/simulator.cpp" "src/lb/CMakeFiles/ftl_lb.dir/simulator.cpp.o" "gcc" "src/lb/CMakeFiles/ftl_lb.dir/simulator.cpp.o.d"
+  "/root/repo/src/lb/strategy.cpp" "src/lb/CMakeFiles/ftl_lb.dir/strategy.cpp.o" "gcc" "src/lb/CMakeFiles/ftl_lb.dir/strategy.cpp.o.d"
+  "/root/repo/src/lb/typed_simulator.cpp" "src/lb/CMakeFiles/ftl_lb.dir/typed_simulator.cpp.o" "gcc" "src/lb/CMakeFiles/ftl_lb.dir/typed_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/correlate/CMakeFiles/ftl_correlate.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/games/CMakeFiles/ftl_games.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/qcore/CMakeFiles/ftl_qcore.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sdp/CMakeFiles/ftl_sdp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_lb.dir/analysis.cpp.o"
+  "CMakeFiles/ftl_lb.dir/analysis.cpp.o.d"
+  "CMakeFiles/ftl_lb.dir/invariants.cpp.o"
+  "CMakeFiles/ftl_lb.dir/invariants.cpp.o.d"
+  "CMakeFiles/ftl_lb.dir/server.cpp.o"
+  "CMakeFiles/ftl_lb.dir/server.cpp.o.d"
+  "CMakeFiles/ftl_lb.dir/simulator.cpp.o"
+  "CMakeFiles/ftl_lb.dir/simulator.cpp.o.d"
+  "CMakeFiles/ftl_lb.dir/strategy.cpp.o"
+  "CMakeFiles/ftl_lb.dir/strategy.cpp.o.d"
+  "CMakeFiles/ftl_lb.dir/typed_simulator.cpp.o"
+  "CMakeFiles/ftl_lb.dir/typed_simulator.cpp.o.d"
+  "libftl_lb.a"
+  "libftl_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

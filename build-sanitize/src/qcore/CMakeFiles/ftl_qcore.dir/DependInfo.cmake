@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qcore/channels.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/channels.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/channels.cpp.o.d"
+  "/root/repo/src/qcore/density.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/density.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/density.cpp.o.d"
+  "/root/repo/src/qcore/eigen.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/eigen.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/eigen.cpp.o.d"
+  "/root/repo/src/qcore/entanglement.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/entanglement.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/entanglement.cpp.o.d"
+  "/root/repo/src/qcore/gates.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/gates.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/gates.cpp.o.d"
+  "/root/repo/src/qcore/generators.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/generators.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/generators.cpp.o.d"
+  "/root/repo/src/qcore/invariants.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/invariants.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/invariants.cpp.o.d"
+  "/root/repo/src/qcore/matrix.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/matrix.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/matrix.cpp.o.d"
+  "/root/repo/src/qcore/pauli.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/pauli.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/pauli.cpp.o.d"
+  "/root/repo/src/qcore/state.cpp" "src/qcore/CMakeFiles/ftl_qcore.dir/state.cpp.o" "gcc" "src/qcore/CMakeFiles/ftl_qcore.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_qcore.dir/channels.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/channels.cpp.o.d"
+  "CMakeFiles/ftl_qcore.dir/density.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/density.cpp.o.d"
+  "CMakeFiles/ftl_qcore.dir/eigen.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/eigen.cpp.o.d"
+  "CMakeFiles/ftl_qcore.dir/entanglement.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/entanglement.cpp.o.d"
+  "CMakeFiles/ftl_qcore.dir/gates.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/gates.cpp.o.d"
+  "CMakeFiles/ftl_qcore.dir/generators.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/generators.cpp.o.d"
+  "CMakeFiles/ftl_qcore.dir/invariants.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/invariants.cpp.o.d"
+  "CMakeFiles/ftl_qcore.dir/matrix.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/matrix.cpp.o.d"
+  "CMakeFiles/ftl_qcore.dir/pauli.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/pauli.cpp.o.d"
+  "CMakeFiles/ftl_qcore.dir/state.cpp.o"
+  "CMakeFiles/ftl_qcore.dir/state.cpp.o.d"
+  "libftl_qcore.a"
+  "libftl_qcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_qcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

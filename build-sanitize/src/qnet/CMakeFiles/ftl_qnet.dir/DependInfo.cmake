@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qnet/broker.cpp" "src/qnet/CMakeFiles/ftl_qnet.dir/broker.cpp.o" "gcc" "src/qnet/CMakeFiles/ftl_qnet.dir/broker.cpp.o.d"
+  "/root/repo/src/qnet/config.cpp" "src/qnet/CMakeFiles/ftl_qnet.dir/config.cpp.o" "gcc" "src/qnet/CMakeFiles/ftl_qnet.dir/config.cpp.o.d"
+  "/root/repo/src/qnet/decoherence.cpp" "src/qnet/CMakeFiles/ftl_qnet.dir/decoherence.cpp.o" "gcc" "src/qnet/CMakeFiles/ftl_qnet.dir/decoherence.cpp.o.d"
+  "/root/repo/src/qnet/detector.cpp" "src/qnet/CMakeFiles/ftl_qnet.dir/detector.cpp.o" "gcc" "src/qnet/CMakeFiles/ftl_qnet.dir/detector.cpp.o.d"
+  "/root/repo/src/qnet/distill.cpp" "src/qnet/CMakeFiles/ftl_qnet.dir/distill.cpp.o" "gcc" "src/qnet/CMakeFiles/ftl_qnet.dir/distill.cpp.o.d"
+  "/root/repo/src/qnet/timing.cpp" "src/qnet/CMakeFiles/ftl_qnet.dir/timing.cpp.o" "gcc" "src/qnet/CMakeFiles/ftl_qnet.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/util/CMakeFiles/ftl_util.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/qcore/CMakeFiles/ftl_qcore.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/games/CMakeFiles/ftl_games.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/ftl_sim.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sdp/CMakeFiles/ftl_sdp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

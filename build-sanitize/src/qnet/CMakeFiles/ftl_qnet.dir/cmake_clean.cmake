@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_qnet.dir/broker.cpp.o"
+  "CMakeFiles/ftl_qnet.dir/broker.cpp.o.d"
+  "CMakeFiles/ftl_qnet.dir/config.cpp.o"
+  "CMakeFiles/ftl_qnet.dir/config.cpp.o.d"
+  "CMakeFiles/ftl_qnet.dir/decoherence.cpp.o"
+  "CMakeFiles/ftl_qnet.dir/decoherence.cpp.o.d"
+  "CMakeFiles/ftl_qnet.dir/detector.cpp.o"
+  "CMakeFiles/ftl_qnet.dir/detector.cpp.o.d"
+  "CMakeFiles/ftl_qnet.dir/distill.cpp.o"
+  "CMakeFiles/ftl_qnet.dir/distill.cpp.o.d"
+  "CMakeFiles/ftl_qnet.dir/timing.cpp.o"
+  "CMakeFiles/ftl_qnet.dir/timing.cpp.o.d"
+  "libftl_qnet.a"
+  "libftl_qnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_qnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

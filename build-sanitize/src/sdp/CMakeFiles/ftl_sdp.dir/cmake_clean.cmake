@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_sdp.dir/dense.cpp.o"
+  "CMakeFiles/ftl_sdp.dir/dense.cpp.o.d"
+  "CMakeFiles/ftl_sdp.dir/tsirelson.cpp.o"
+  "CMakeFiles/ftl_sdp.dir/tsirelson.cpp.o.d"
+  "libftl_sdp.a"
+  "libftl_sdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_sdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_sim.dir/engine.cpp.o"
+  "CMakeFiles/ftl_sim.dir/engine.cpp.o.d"
+  "libftl_sim.a"
+  "libftl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

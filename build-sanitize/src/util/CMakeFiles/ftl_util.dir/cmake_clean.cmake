@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_util.dir/args.cpp.o"
+  "CMakeFiles/ftl_util.dir/args.cpp.o.d"
+  "CMakeFiles/ftl_util.dir/histogram.cpp.o"
+  "CMakeFiles/ftl_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/ftl_util.dir/rng.cpp.o"
+  "CMakeFiles/ftl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ftl_util.dir/stats.cpp.o"
+  "CMakeFiles/ftl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ftl_util.dir/table.cpp.o"
+  "CMakeFiles/ftl_util.dir/table.cpp.o.d"
+  "libftl_util.a"
+  "libftl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

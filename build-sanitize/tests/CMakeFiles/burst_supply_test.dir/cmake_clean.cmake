@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_supply_test.dir/burst_supply_test.cpp.o"
+  "CMakeFiles/burst_supply_test.dir/burst_supply_test.cpp.o.d"
+  "burst_supply_test"
+  "burst_supply_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_supply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecmp_test.dir/ecmp_test.cpp.o"
+  "CMakeFiles/ecmp_test.dir/ecmp_test.cpp.o.d"
+  "ecmp_test"
+  "ecmp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entanglement_test.dir/entanglement_test.cpp.o"
+  "CMakeFiles/entanglement_test.dir/entanglement_test.cpp.o.d"
+  "entanglement_test"
+  "entanglement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entanglement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

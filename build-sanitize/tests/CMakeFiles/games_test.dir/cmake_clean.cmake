@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/games_test.dir/games_test.cpp.o"
+  "CMakeFiles/games_test.dir/games_test.cpp.o.d"
+  "games_test"
+  "games_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/games_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

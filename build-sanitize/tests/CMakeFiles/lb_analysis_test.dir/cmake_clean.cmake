@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_analysis_test.dir/lb_analysis_test.cpp.o"
+  "CMakeFiles/lb_analysis_test.dir/lb_analysis_test.cpp.o.d"
+  "lb_analysis_test"
+  "lb_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

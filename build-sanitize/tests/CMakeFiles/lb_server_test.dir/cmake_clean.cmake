@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_server_test.dir/lb_server_test.cpp.o"
+  "CMakeFiles/lb_server_test.dir/lb_server_test.cpp.o.d"
+  "lb_server_test"
+  "lb_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

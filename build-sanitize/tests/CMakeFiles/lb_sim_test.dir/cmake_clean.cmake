@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_sim_test.dir/lb_sim_test.cpp.o"
+  "CMakeFiles/lb_sim_test.dir/lb_sim_test.cpp.o.d"
+  "lb_sim_test"
+  "lb_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

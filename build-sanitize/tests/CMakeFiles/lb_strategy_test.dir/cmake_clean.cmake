@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_strategy_test.dir/lb_strategy_test.cpp.o"
+  "CMakeFiles/lb_strategy_test.dir/lb_strategy_test.cpp.o.d"
+  "lb_strategy_test"
+  "lb_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

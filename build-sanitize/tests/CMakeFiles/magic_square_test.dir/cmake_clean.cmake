@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_square_test.dir/magic_square_test.cpp.o"
+  "CMakeFiles/magic_square_test.dir/magic_square_test.cpp.o.d"
+  "magic_square_test"
+  "magic_square_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_square_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

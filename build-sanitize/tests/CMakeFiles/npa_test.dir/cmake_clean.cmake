@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npa_test.dir/npa_test.cpp.o"
+  "CMakeFiles/npa_test.dir/npa_test.cpp.o.d"
+  "npa_test"
+  "npa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

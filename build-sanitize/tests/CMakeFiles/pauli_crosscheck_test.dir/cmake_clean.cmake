@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pauli_crosscheck_test.dir/pauli_crosscheck_test.cpp.o"
+  "CMakeFiles/pauli_crosscheck_test.dir/pauli_crosscheck_test.cpp.o.d"
+  "pauli_crosscheck_test"
+  "pauli_crosscheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pauli_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

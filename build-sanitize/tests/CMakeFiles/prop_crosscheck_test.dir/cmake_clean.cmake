@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_crosscheck_test.dir/prop_crosscheck_test.cpp.o"
+  "CMakeFiles/prop_crosscheck_test.dir/prop_crosscheck_test.cpp.o.d"
+  "prop_crosscheck_test"
+  "prop_crosscheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

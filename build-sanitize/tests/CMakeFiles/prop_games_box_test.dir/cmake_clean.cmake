@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_games_box_test.dir/prop_games_box_test.cpp.o"
+  "CMakeFiles/prop_games_box_test.dir/prop_games_box_test.cpp.o.d"
+  "prop_games_box_test"
+  "prop_games_box_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_games_box_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

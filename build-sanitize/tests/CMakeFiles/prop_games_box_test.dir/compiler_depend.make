@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prop_games_box_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for prop_games_box_test.
+# This may be replaced when dependencies are built.

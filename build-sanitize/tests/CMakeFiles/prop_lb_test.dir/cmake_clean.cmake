@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_lb_test.dir/prop_lb_test.cpp.o"
+  "CMakeFiles/prop_lb_test.dir/prop_lb_test.cpp.o.d"
+  "prop_lb_test"
+  "prop_lb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_lb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_qcore_channels_test.dir/prop_qcore_channels_test.cpp.o"
+  "CMakeFiles/prop_qcore_channels_test.dir/prop_qcore_channels_test.cpp.o.d"
+  "prop_qcore_channels_test"
+  "prop_qcore_channels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_qcore_channels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_qcore_state_test.dir/prop_qcore_state_test.cpp.o"
+  "CMakeFiles/prop_qcore_state_test.dir/prop_qcore_state_test.cpp.o.d"
+  "prop_qcore_state_test"
+  "prop_qcore_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_qcore_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proptest_selftest.dir/proptest_selftest.cpp.o"
+  "CMakeFiles/proptest_selftest.dir/proptest_selftest.cpp.o.d"
+  "proptest_selftest"
+  "proptest_selftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proptest_selftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

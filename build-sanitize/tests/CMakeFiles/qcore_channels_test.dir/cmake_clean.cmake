@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcore_channels_test.dir/qcore_channels_test.cpp.o"
+  "CMakeFiles/qcore_channels_test.dir/qcore_channels_test.cpp.o.d"
+  "qcore_channels_test"
+  "qcore_channels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcore_channels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcore_crosscheck_test.dir/qcore_crosscheck_test.cpp.o"
+  "CMakeFiles/qcore_crosscheck_test.dir/qcore_crosscheck_test.cpp.o.d"
+  "qcore_crosscheck_test"
+  "qcore_crosscheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcore_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

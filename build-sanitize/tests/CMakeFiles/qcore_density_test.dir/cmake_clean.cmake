@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcore_density_test.dir/qcore_density_test.cpp.o"
+  "CMakeFiles/qcore_density_test.dir/qcore_density_test.cpp.o.d"
+  "qcore_density_test"
+  "qcore_density_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcore_density_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

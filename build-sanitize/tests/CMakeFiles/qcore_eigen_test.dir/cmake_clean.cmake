@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcore_eigen_test.dir/qcore_eigen_test.cpp.o"
+  "CMakeFiles/qcore_eigen_test.dir/qcore_eigen_test.cpp.o.d"
+  "qcore_eigen_test"
+  "qcore_eigen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcore_eigen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcore_gates_test.dir/qcore_gates_test.cpp.o"
+  "CMakeFiles/qcore_gates_test.dir/qcore_gates_test.cpp.o.d"
+  "qcore_gates_test"
+  "qcore_gates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcore_gates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

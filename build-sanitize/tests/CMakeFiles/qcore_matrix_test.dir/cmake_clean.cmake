@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcore_matrix_test.dir/qcore_matrix_test.cpp.o"
+  "CMakeFiles/qcore_matrix_test.dir/qcore_matrix_test.cpp.o.d"
+  "qcore_matrix_test"
+  "qcore_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcore_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcore_state_test.dir/qcore_state_test.cpp.o"
+  "CMakeFiles/qcore_state_test.dir/qcore_state_test.cpp.o.d"
+  "qcore_state_test"
+  "qcore_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcore_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

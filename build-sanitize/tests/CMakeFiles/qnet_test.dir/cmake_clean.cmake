@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnet_test.dir/qnet_test.cpp.o"
+  "CMakeFiles/qnet_test.dir/qnet_test.cpp.o.d"
+  "qnet_test"
+  "qnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realize_test.dir/realize_test.cpp.o"
+  "CMakeFiles/realize_test.dir/realize_test.cpp.o.d"
+  "realize_test"
+  "realize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

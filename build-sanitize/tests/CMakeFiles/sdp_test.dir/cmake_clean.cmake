@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdp_test.dir/sdp_test.cpp.o"
+  "CMakeFiles/sdp_test.dir/sdp_test.cpp.o.d"
+  "sdp_test"
+  "sdp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

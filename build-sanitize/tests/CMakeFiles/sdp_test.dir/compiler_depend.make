@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdp_test.
+# This may be replaced when dependencies are built.

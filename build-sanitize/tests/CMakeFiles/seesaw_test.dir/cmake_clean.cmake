@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seesaw_test.dir/seesaw_test.cpp.o"
+  "CMakeFiles/seesaw_test.dir/seesaw_test.cpp.o.d"
+  "seesaw_test"
+  "seesaw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seesaw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

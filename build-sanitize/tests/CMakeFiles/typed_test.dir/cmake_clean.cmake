@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_test.dir/typed_test.cpp.o"
+  "CMakeFiles/typed_test.dir/typed_test.cpp.o.d"
+  "typed_test"
+  "typed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

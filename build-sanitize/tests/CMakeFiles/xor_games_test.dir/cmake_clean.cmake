@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xor_games_test.dir/xor_games_test.cpp.o"
+  "CMakeFiles/xor_games_test.dir/xor_games_test.cpp.o.d"
+  "xor_games_test"
+  "xor_games_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xor_games_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
