@@ -1,39 +1,126 @@
 // Shared helpers for the bench binaries.
 //
-// Every bench accepts `--seed <n>` (or `--seed=<n>`) ahead of the usual
-// google-benchmark flags, so any figure can be regenerated under a
-// different random stream — and any property-test failure seed can be
-// replayed through the full benchmark pipeline.
+// Every bench accepts, ahead of the usual google-benchmark flags:
+//   --seed <n>             reseed the random stream (replay property-test
+//                          failures through the full benchmark pipeline)
+//   --metrics-out=<path>   write an `ftl.obs.run_report/v1` JSON file with
+//                          the metric registry snapshot + run metadata
+//   --trace-out=<path>     write a Chrome trace_event JSON file (open in
+//                          chrome://tracing or https://ui.perfetto.dev)
+// The flags are parsed and *removed* from argv before benchmark::Initialize
+// sees them (it treats unknown flags as fatal).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <iostream>
 #include <string>
+#include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 
 namespace ftl::bench {
 
-/// Reads `--seed` from the command line and then *removes* it from argv so
-/// the remaining flags can be handed to benchmark::Initialize (which treats
-/// unknown flags as fatal). Returns `fallback` when no seed was passed.
-inline std::uint64_t extract_seed(int& argc, char** argv,
-                                  std::uint64_t fallback) {
+struct Options {
+  std::uint64_t seed = 0;
+  std::string metrics_out;  // empty = no run report
+  std::string trace_out;    // empty = no trace
+};
+
+/// Reads the common bench flags from the command line and then removes them
+/// from argv, leaving only what benchmark::Initialize understands. The seed
+/// falls back to `fallback_seed` when `--seed` was not passed.
+inline Options parse_args(int& argc, char** argv, std::uint64_t fallback_seed) {
   const util::Args args(argc, argv, /*allow_unknown=*/true);
-  const auto seed = static_cast<std::uint64_t>(
-      args.get("seed", static_cast<long long>(fallback)));
+  Options opts;
+  opts.seed = static_cast<std::uint64_t>(
+      args.get("seed", static_cast<long long>(fallback_seed)));
+  opts.metrics_out = args.get("metrics-out", std::string());
+  opts.trace_out = args.get("trace-out", std::string());
+
+  const auto is_ours = [](const std::string& arg) {
+    for (const char* name : {"--seed", "--metrics-out", "--trace-out"}) {
+      if (arg == name || arg.rfind(std::string(name) + "=", 0) == 0)
+        return true;
+    }
+    return false;
+  };
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--seed") {
-      // Skip the flag and its (non-flag) value token, if any.
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) ++i;
+    if (is_ours(arg)) {
+      // Skip the flag and its separate (non-flag) value token, if any.
+      if (arg.find('=') == std::string::npos && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0)
+        ++i;
       continue;
     }
-    if (arg.rfind("--seed=", 0) == 0) continue;
     argv[out++] = argv[i];
   }
   argc = out;
-  return seed;
+  return opts;
 }
+
+/// Backwards-compatible shorthand when a bench only cares about the seed.
+inline std::uint64_t extract_seed(int& argc, char** argv,
+                                  std::uint64_t fallback) {
+  return parse_args(argc, argv, fallback).seed;
+}
+
+/// RAII observability session for a bench main(). Construct right after
+/// parse_args (starts the tracer if --trace-out was given); on destruction
+/// writes the run report and/or trace files requested on the command line.
+class ObsSession {
+ public:
+  ObsSession(std::string name, Options opts)
+      : name_(std::move(name)),
+        opts_(std::move(opts)),
+        t0_(std::chrono::steady_clock::now()) {
+    if (!opts_.trace_out.empty()) obs::tracer().start();
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Free-form config description recorded in the run report's metadata.
+  void set_config(std::string config) { config_ = std::move(config); }
+
+  ~ObsSession() {
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    if (!opts_.metrics_out.empty()) {
+      obs::RunMeta meta;
+      meta.name = name_;
+      meta.seed = opts_.seed;
+      meta.config = config_;
+      meta.wall_time_s = std::chrono::duration<double>(dt).count();
+      if (obs::write_run_report(opts_.metrics_out, obs::registry().snapshot(),
+                                meta)) {
+        std::cerr << "[obs] run report written to " << opts_.metrics_out
+                  << "\n";
+      } else {
+        std::cerr << "[obs] FAILED to write run report to "
+                  << opts_.metrics_out << "\n";
+      }
+    }
+    if (!opts_.trace_out.empty()) {
+      obs::tracer().stop();
+      if (obs::tracer().write(opts_.trace_out)) {
+        std::cerr << "[obs] trace written to " << opts_.trace_out << "\n";
+      } else {
+        std::cerr << "[obs] FAILED to write trace to " << opts_.trace_out
+                  << "\n";
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+  Options opts_;
+  std::string config_;
+  std::chrono::steady_clock::time_point t0_;
+};
 
 }  // namespace ftl::bench

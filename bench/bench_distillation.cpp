@@ -51,7 +51,8 @@ BENCHMARK(BM_DistillToChshThreshold)->Arg(55)->Arg(65)->Arg(75);
 
 int main(int argc, char** argv) {
   // This bench is fully deterministic; --seed is accepted for a uniform CLI.
-  (void)ftl::bench::extract_seed(argc, argv, 0);
+  const ftl::bench::ObsSession obs_session(
+      "bench_distillation", ftl::bench::parse_args(argc, argv, 0));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

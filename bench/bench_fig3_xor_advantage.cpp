@@ -80,7 +80,10 @@ BENCHMARK(BM_Fig3_AdvantageProbability)
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
+  const ftl::bench::Options obs_opts =
+      ftl::bench::parse_args(argc, argv, g_seed);
+  g_seed = obs_opts.seed;
+  const ftl::bench::ObsSession obs_session("bench_fig3_xor_advantage", obs_opts);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -79,7 +79,11 @@ BENCHMARK_CAPTURE(BM_Fig4, omniscient_bound, "omniscient")
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
+  const ftl::bench::Options obs_opts =
+      ftl::bench::parse_args(argc, argv, g_seed);
+  g_seed = obs_opts.seed;
+  ftl::bench::ObsSession obs_session("bench_fig4_load_balancing", obs_opts);
+  obs_session.set_config("N=100 balancers, M swept 150..40 (load 0.67..2.5)");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -62,7 +62,10 @@ BENCHMARK(BM_MerminSampledPlay)->Arg(3)->Arg(5)
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
+  const ftl::bench::Options obs_opts =
+      ftl::bench::parse_args(argc, argv, g_seed);
+  g_seed = obs_opts.seed;
+  const ftl::bench::ObsSession obs_session("bench_multiparty_games", obs_opts);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

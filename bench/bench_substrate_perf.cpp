@@ -119,7 +119,10 @@ BENCHMARK(BM_LbSimStep)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_seed = ftl::bench::extract_seed(argc, argv, g_seed);
+  const ftl::bench::Options obs_opts =
+      ftl::bench::parse_args(argc, argv, g_seed);
+  g_seed = obs_opts.seed;
+  const ftl::bench::ObsSession obs_session("bench_substrate_perf", obs_opts);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qcore/eigen.hpp"
 #include "qcore/matrix.hpp"
 #include "sdp/dense.hpp"
@@ -122,14 +124,23 @@ NpaResult npa1_upper_bound(const TwoPartyGame& game, const NpaOptions& opts) {
                  "npa1_upper_bound supports 2-input binary games");
   const Objective obj = build_objective(game);
 
+  const obs::ScopedSpan span("games.npa1_upper_bound", "games");
+  obs::registry().counter("games.npa.calls").inc();
+  obs::Counter& m_outer = obs::registry().counter("games.npa.outer_iterations");
+  obs::Counter& m_newton = obs::registry().counter("games.npa.newton_steps");
+  obs::Histogram& m_step_norm = obs::registry().histogram(
+      "games.npa.newton_step_norm", 0.0, 10.0, 50);
+
   std::array<double, kParams> theta{};  // Gamma = I: strictly feasible
   NpaResult out;
 
   double mu = 1.0;
   while (mu > opts.mu_final) {
     mu *= opts.mu_shrink;
+    m_outer.inc();
     // Newton on f(theta) = c . theta + mu * logdet Gamma(theta).
     for (int it = 0; it < opts.newton_steps_per_mu; ++it) {
+      m_newton.inc();
       double min_eig = 0.0;
       const qcore::CMat inv = pd_inverse(build_gamma(theta), min_eig);
       FTL_ASSERT_MSG(min_eig > 0.0, "iterate left the PSD cone");
@@ -168,6 +179,7 @@ NpaResult npa1_upper_bound(const TwoPartyGame& game, const NpaOptions& opts) {
       // Backtracking line search: stay strictly PD and increase f.
       double norm2 = 0.0;
       for (double s : step) norm2 += s * s;
+      m_step_norm.observe(std::sqrt(norm2));
       if (std::sqrt(norm2) < opts.newton_tol) break;
       double t = 1.0;
       bool moved = false;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qcore/eigen.hpp"
 #include "util/rng.hpp"
 
@@ -109,6 +111,16 @@ SeesawResult seesaw_optimize(const TwoPartyGame& game,
   util::Rng rng(opts.seed);
   const CMat id = CMat::identity(2);
 
+  const obs::ScopedSpan span("games.seesaw_optimize", "games");
+  obs::registry().counter("games.seesaw.calls").inc();
+  obs::Counter& m_restarts = obs::registry().counter("games.seesaw.restarts");
+  obs::Counter& m_rounds = obs::registry().counter("games.seesaw.rounds");
+  // Per-round improvement when the loop settles — how tight convergence is.
+  obs::Histogram& m_residual = obs::registry().histogram(
+      "games.seesaw.final_residual", 0.0, 1e-9, 50);
+  obs::Histogram& m_restart_us = obs::registry().histogram(
+      "games.seesaw.restart_us", 0.0, 100000.0, 50);
+
   double best_value = -1.0;
   CMat best_rho;
   std::vector<Effects> best_alice;
@@ -117,6 +129,8 @@ SeesawResult seesaw_optimize(const TwoPartyGame& game,
   bool best_converged = false;
 
   for (int restart = 0; restart < opts.restarts; ++restart) {
+    m_restarts.inc();
+    const obs::ScopedHistogramTimer restart_timer(m_restart_us);
     // Random initial pure state and random rank-1 effects.
     std::vector<Cx> psi = random_state(rng);
     CMat rho = CMat::outer(psi, psi);
@@ -209,8 +223,10 @@ SeesawResult seesaw_optimize(const TwoPartyGame& game,
         rho = CMat::outer(top, top);
       }
 
+      m_rounds.inc();
       const double cur = projector_value(game, rho, alice, bob);
       if (cur - prev < opts.tol) {
+        m_residual.observe(cur - prev);
         prev = cur;
         converged = true;
         break;

@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "lb/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
 
@@ -13,6 +15,22 @@ LbResult run_lb_sim(const LbConfig& cfg, LbStrategy& strategy) {
   FTL_ASSERT(cfg.p_colocate >= 0.0 && cfg.p_colocate <= 1.0);
   FTL_ASSERT(cfg.batch_size >= 1);
   FTL_ASSERT(cfg.warmup_steps >= 0 && cfg.measure_steps > 0);
+
+  // Registered once per run (registry lookup is mutex-guarded), then
+  // updated with relaxed atomics inside the step loop.
+  const obs::ScopedSpan span("lb.run_lb_sim", "lb");
+  const obs::Labels strat_label{{"strategy", strategy.name()}};
+  obs::Counter& m_arrived =
+      obs::registry().counter("lb.requests.arrived", strat_label);
+  obs::Counter& m_served =
+      obs::registry().counter("lb.requests.served", strat_label);
+  obs::Counter& m_steps = obs::registry().counter("lb.steps", strat_label);
+  obs::Histogram& m_queue_depth = obs::registry().histogram(
+      "lb.queue_depth", 0.0, 256.0, 64, strat_label);
+  obs::Histogram& m_delay =
+      obs::registry().histogram("lb.delay_steps", 0.0, 512.0, 64, strat_label);
+  obs::Gauge& m_queue_hw =
+      obs::registry().gauge("lb.queue_depth.high_water", strat_label);
 
   util::Rng rng(cfg.seed);
   util::Rng arrivals_rng = rng.split(1);
@@ -69,7 +87,10 @@ LbResult run_lb_sim(const LbConfig& cfg, LbStrategy& strategy) {
       for (std::size_t k = 0; k < types[b].size(); ++k) {
         FTL_ASSERT(targets[b][k] < cfg.num_servers);
         servers[targets[b][k]].enqueue(Request{types[b][k], b, step});
-        if (measuring) ++arrived;
+        if (measuring) {
+          ++arrived;
+          m_arrived.inc();
+        }
       }
     }
 
@@ -78,16 +99,22 @@ LbResult run_lb_sim(const LbConfig& cfg, LbStrategy& strategy) {
       for (const Request& r : server.step(cfg.policy)) {
         if (r.arrival_step >= cfg.warmup_steps && measuring) {
           ++served;
+          m_served.inc();
           const double d = static_cast<double>(step - r.arrival_step);
           delay_acc.add(d);
           delays.push_back(d);
+          m_delay.observe(d);
           (r.type == TaskType::kC ? delay_c_acc : delay_e_acc).add(d);
         }
       }
       if (measuring) {
-        queue_len_acc.add(static_cast<double>(server.queue_length()));
+        const auto depth = static_cast<double>(server.queue_length());
+        queue_len_acc.add(depth);
+        m_queue_depth.observe(depth);
+        m_queue_hw.update_max(depth);
       }
     }
+    if (measuring) m_steps.inc();
   }
 
   LbResult out;

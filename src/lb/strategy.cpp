@@ -64,6 +64,9 @@ PairedStrategy::PairedStrategy(
     std::unique_ptr<correlate::PairedDecisionSource> src)
     : source_(std::move(src)) {
   FTL_ASSERT(source_ != nullptr);
+  const obs::Labels label{{"source", source_->name()}};
+  rounds_won_ = &obs::registry().counter("lb.chsh.rounds_won", label);
+  rounds_lost_ = &obs::registry().counter("lb.chsh.rounds_lost", label);
 }
 
 std::string PairedStrategy::name() const {
@@ -90,6 +93,10 @@ void PairedStrategy::assign(const std::vector<std::vector<TaskType>>& types,
       const int x = types[p][0] == TaskType::kC ? 1 : 0;
       const int y = types[p + 1][0] == TaskType::kC ? 1 : 0;
       const auto [a, b] = source_->decide(x, y, rng);
+      // Flipped-CHSH win condition: a XOR b == NOT(x AND y) — both-C pairs
+      // co-locate, every other pair separates.
+      const bool won = ((a ^ b) != 0) == !(x == 1 && y == 1);
+      (won ? *rounds_won_ : *rounds_lost_).inc();
       out[p][0] = a == 0 ? s0 : s1;
       out[p + 1][0] = b == 0 ? s0 : s1;
     } else {

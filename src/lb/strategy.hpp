@@ -14,6 +14,7 @@
 
 #include "correlate/decision_source.hpp"
 #include "lb/types.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace ftl::lb {
@@ -86,6 +87,10 @@ class PairedStrategy final : public LbStrategy {
 
  private:
   std::unique_ptr<correlate::PairedDecisionSource> source_;
+  // Cached at construction (labeled by source name) so the per-step hot
+  // path is a relaxed atomic increment.
+  obs::Counter* rounds_won_;
+  obs::Counter* rounds_lost_;
 };
 
 /// §4.1 caveat baseline: a fixed fraction of servers is dedicated to C

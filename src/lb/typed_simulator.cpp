@@ -4,6 +4,8 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
 
@@ -153,6 +155,17 @@ LbResult run_typed_lb_sim(const TypedLbConfig& cfg,
   FTL_ASSERT_MSG(std::abs(total_p - 1.0) < 1e-9,
                  "type probabilities must sum to 1");
 
+  const obs::ScopedSpan span("lb.run_typed_lb_sim", "lb");
+  const obs::Labels strat_label{{"strategy", strategy.name()}};
+  obs::Counter& m_arrived =
+      obs::registry().counter("lb.typed.requests.arrived", strat_label);
+  obs::Counter& m_served =
+      obs::registry().counter("lb.typed.requests.served", strat_label);
+  obs::Histogram& m_queue_depth = obs::registry().histogram(
+      "lb.typed.queue_depth", 0.0, 256.0, 64, strat_label);
+  obs::Gauge& m_queue_hw =
+      obs::registry().gauge("lb.typed.queue_depth.high_water", strat_label);
+
   util::Rng rng(cfg.seed);
   util::Rng arrivals_rng = rng.split(1);
   util::Rng strategy_rng = rng.split(2);
@@ -201,20 +214,27 @@ LbResult run_typed_lb_sim(const TypedLbConfig& cfg,
     for (std::size_t b = 0; b < cfg.num_balancers; ++b) {
       FTL_ASSERT(targets[b] < cfg.num_servers);
       servers[targets[b]].enqueue(TypedTask{types[b], step});
-      if (measuring) ++arrived;
+      if (measuring) {
+        ++arrived;
+        m_arrived.inc();
+      }
     }
     for (auto& server : servers) {
       for (const TypedTask& t :
            server.step(graph, cfg.policy, cfg.interference, service_rng)) {
         if (measuring && t.arrival_step >= cfg.warmup_steps) {
           ++served_count;
+          m_served.inc();
           const double d = static_cast<double>(step - t.arrival_step);
           delay_acc.add(d);
           delays.push_back(d);
         }
       }
       if (measuring) {
-        queue_len_acc.add(static_cast<double>(server.queue_length()));
+        const auto depth = static_cast<double>(server.queue_length());
+        queue_len_acc.add(depth);
+        m_queue_depth.observe(depth);
+        m_queue_hw.update_max(depth);
       }
     }
   }

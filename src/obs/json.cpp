@@ -1,0 +1,322 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace ftl::obs::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::prologue() {
+  if (stack_.empty()) return;
+  if (stack_.back() == Ctx::kObject) {
+    // Inside an object every value must have been announced by key(),
+    // which already emitted the separator.
+    FTL_ASSERT_MSG(pending_key_, "JSON object value written without a key");
+    pending_key_ = false;
+    return;
+  }
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+}
+
+void Writer::begin_object() {
+  prologue();
+  out_ += '{';
+  stack_.push_back(Ctx::kObject);
+  first_.push_back(true);
+}
+
+void Writer::end_object() {
+  FTL_ASSERT(!stack_.empty() && stack_.back() == Ctx::kObject);
+  FTL_ASSERT_MSG(!pending_key_, "JSON key written without a value");
+  stack_.pop_back();
+  first_.pop_back();
+  out_ += '}';
+}
+
+void Writer::begin_array() {
+  prologue();
+  out_ += '[';
+  stack_.push_back(Ctx::kArray);
+  first_.push_back(true);
+}
+
+void Writer::end_array() {
+  FTL_ASSERT(!stack_.empty() && stack_.back() == Ctx::kArray);
+  stack_.pop_back();
+  first_.pop_back();
+  out_ += ']';
+}
+
+void Writer::key(std::string_view k) {
+  FTL_ASSERT(!stack_.empty() && stack_.back() == Ctx::kObject);
+  FTL_ASSERT_MSG(!pending_key_, "two JSON keys in a row");
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void Writer::value(std::string_view v) {
+  prologue();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+}
+
+void Writer::value(double v) {
+  prologue();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+}
+
+void Writer::value(std::uint64_t v) {
+  prologue();
+  out_ += std::to_string(v);
+}
+
+void Writer::value(std::int64_t v) {
+  prologue();
+  out_ += std::to_string(v);
+}
+
+void Writer::value(bool v) {
+  prologue();
+  out_ += v ? "true" : "false";
+}
+
+void Writer::null() {
+  prologue();
+  out_ += "null";
+}
+
+const Value* Value::find(std::string_view k) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [key, val] : object) {
+    if (key == k) return &val;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    Value v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing junk
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (depth_ > 128) return false;  // pathological nesting
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out.kind = Value::Kind::kString; return parse_string(out.string);
+      case 't':
+        out.kind = Value::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = Value::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n': out.kind = Value::Kind::kNull; return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.kind = Value::Kind::kObject;
+    ++depth_;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) { --depth_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) { --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.kind = Value::Kind::kArray;
+    ++depth_;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) { --depth_; return true; }
+    while (true) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) { --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // Minimal UTF-8 encoding of the BMP code point; surrogate
+            // pairs are passed through as two 3-byte sequences, which is
+            // fine for round-tripping our own output (we only emit
+            // \u00XX control escapes).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return false;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      out += c;
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (eat('-')) {}
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    out.kind = Value::Kind::kNumber;
+    out.number = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace ftl::obs::json

@@ -1,0 +1,84 @@
+// Minimal JSON emitter + parser for the observability subsystem.
+//
+// The emitter is a streaming writer (explicit begin/end, automatic commas,
+// correct string escaping, locale-independent number formatting) used by
+// the trace and run-report serializers. The parser is a strict
+// recursive-descent reader used by the tests to verify that every emitted
+// file is well-formed, and by tooling that wants to introspect a report
+// without a third-party JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ftl::obs::json {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Streaming JSON writer. Usage:
+///   Writer w;
+///   w.begin_object();
+///   w.key("seed"); w.value(std::uint64_t{42});
+///   w.end_object();
+///   std::string out = std::move(w).str();
+/// Misuse (value without key inside an object, unbalanced end) asserts.
+class Writer {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  enum class Ctx : std::uint8_t { kObject, kArray };
+  void prologue();  // comma / nothing, depending on position
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> first_;     // first element of the innermost container?
+  bool pending_key_ = false;    // a key was written, value must follow
+};
+
+/// Parsed JSON value. Objects preserve insertion order.
+struct Value {
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view k) const;
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+};
+
+/// Strict parse of a complete JSON document (trailing junk rejected).
+/// Returns nullopt on any syntax error.
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+}  // namespace ftl::obs::json

@@ -1,0 +1,128 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "util/histogram.hpp"
+
+namespace ftl::obs {
+
+const char* git_rev() {
+#ifdef FTL_GIT_REV
+  return FTL_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+namespace {
+
+void write_labels(json::Writer& w, const Labels& labels) {
+  w.key("labels");
+  w.begin_object();
+  for (const auto& [k, v] : labels) {
+    w.key(k);
+    w.value(v);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string run_report_json(const Snapshot& snapshot, const RunMeta& meta) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.value("ftl.obs.run_report/v1");
+
+  w.key("meta");
+  w.begin_object();
+  w.key("name");
+  w.value(meta.name);
+  w.key("seed");
+  w.value(meta.seed);
+  w.key("config");
+  w.value(meta.config);
+  w.key("git_rev");
+  w.value(git_rev());
+  w.key("obs_enabled");
+  w.value(kEnabled);
+  w.key("wall_time_s");
+  w.value(meta.wall_time_s);
+  w.end_object();
+
+  w.key("metrics");
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_array();
+  for (const CounterSample& c : snapshot.counters) {
+    w.begin_object();
+    w.key("name");
+    w.value(c.name);
+    write_labels(w, c.labels);
+    w.key("value");
+    w.value(c.value);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("gauges");
+  w.begin_array();
+  for (const GaugeSample& g : snapshot.gauges) {
+    w.begin_object();
+    w.key("name");
+    w.value(g.name);
+    write_labels(w, g.labels);
+    w.key("value");
+    w.value(g.value);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("histograms");
+  w.begin_array();
+  for (const HistogramSample& h : snapshot.histograms) {
+    w.begin_object();
+    w.key("name");
+    w.value(h.name);
+    write_labels(w, h.labels);
+    w.key("lo");
+    w.value(h.lo);
+    w.key("hi");
+    w.value(h.hi);
+    w.key("counts");
+    w.begin_array();
+    for (const std::size_t c : h.counts) w.value(c);
+    w.end_array();
+    w.key("underflow");
+    w.value(h.underflow);
+    w.key("overflow");
+    w.value(h.overflow);
+    w.key("total");
+    w.value(h.total);
+    const util::Histogram uh = h.to_histogram();
+    w.key("p50");
+    w.value(uh.quantile(0.50));
+    w.key("p95");
+    w.value(uh.quantile(0.95));
+    w.key("p99");
+    w.value(uh.quantile(0.99));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();  // metrics
+  w.end_object();  // root
+  return w.take();
+}
+
+bool write_run_report(const std::string& path, const Snapshot& snapshot,
+                      const RunMeta& meta) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << run_report_json(snapshot, meta) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace ftl::obs

@@ -1,0 +1,51 @@
+// Machine-readable run reports: one JSON file per run carrying the metric
+// registry snapshot plus enough metadata (seed, config, git revision, wall
+// time) to reproduce the run and track its numbers over time. This is the
+// file format behind the benches' `--metrics-out=<path>` flag and the CI
+// perf-trajectory artifacts (`BENCH_*.json`).
+//
+// Schema (`ftl.obs.run_report/v1`):
+//   {
+//     "schema": "ftl.obs.run_report/v1",
+//     "meta": {"name": ..., "seed": ..., "config": ..., "git_rev": ...,
+//              "obs_enabled": true|false, "wall_time_s": ...},
+//     "metrics": {
+//       "counters":   [{"name", "labels": {...}, "value"}, ...],
+//       "gauges":     [{"name", "labels": {...}, "value"}, ...],
+//       "histograms": [{"name", "labels": {...}, "lo", "hi", "counts": [...],
+//                       "underflow", "overflow", "total",
+//                       "p50", "p95", "p99"}, ...]
+//     }
+//   }
+// Histogram quantiles are precomputed via util::Histogram so downstream
+// tooling can plot trajectories without re-deriving them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ftl::obs {
+
+struct RunMeta {
+  /// Run identity, e.g. the bench binary name.
+  std::string name;
+  std::uint64_t seed = 0;
+  /// Free-form config description (flag values, sweep shape, ...).
+  std::string config;
+  double wall_time_s = 0.0;
+};
+
+/// Git revision baked in at configure time (FTL_GIT_REV), or "unknown".
+[[nodiscard]] const char* git_rev();
+
+/// Serializes a snapshot + metadata as a run-report JSON document.
+[[nodiscard]] std::string run_report_json(const Snapshot& snapshot,
+                                          const RunMeta& meta);
+
+/// Writes run_report_json to `path`; returns false on I/O failure.
+bool write_run_report(const std::string& path, const Snapshot& snapshot,
+                      const RunMeta& meta);
+
+}  // namespace ftl::obs

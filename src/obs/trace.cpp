@@ -1,0 +1,106 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "obs/json.hpp"
+
+namespace ftl::obs::real {
+
+namespace {
+
+std::uint64_t this_tid() {
+  // Stable per-thread small-ish id; Chrome only needs it to separate rows.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffff;
+}
+
+}  // namespace
+
+void Tracer::start() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  t0_ = std::chrono::steady_clock::now();
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_relaxed); }
+
+double Tracer::now_us() const {
+  if (t0_ == std::chrono::steady_clock::time_point{}) return 0.0;
+  const auto dt = std::chrono::steady_clock::now() - t0_;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+void Tracer::record_complete(const char* name, const char* cat, double ts_us,
+                             double dur_us) {
+  if (!active()) return;
+  const std::uint64_t tid = this_tid();
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, cat, 'X', ts_us, dur_us, tid});
+}
+
+void Tracer::record_instant(const char* name, const char* cat) {
+  if (!active()) return;
+  const std::uint64_t tid = this_tid();
+  const double ts = now_us();
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, cat, 'i', ts, 0.0, tid});
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::json() const {
+  json::Writer w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const Event& e : events_) {
+      w.begin_object();
+      w.key("name");
+      w.value(e.name);
+      w.key("cat");
+      w.value(e.cat);
+      w.key("ph");
+      w.value(std::string_view(&e.phase, 1));
+      w.key("ts");
+      w.value(e.ts_us);
+      if (e.phase == 'X') {
+        w.key("dur");
+        w.value(e.dur_us);
+      } else {
+        w.key("s");
+        w.value("t");  // instant scope: thread
+      }
+      w.key("pid");
+      w.value(1);
+      w.key("tid");
+      w.value(e.tid);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json() << '\n';
+  return static_cast<bool>(out);
+}
+
+Tracer& tracer() noexcept {
+  static Tracer t;
+  return t;
+}
+
+}  // namespace ftl::obs::real

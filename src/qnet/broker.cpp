@@ -4,6 +4,8 @@
 #include <deque>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qnet/decoherence.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
@@ -48,6 +50,26 @@ BrokerStats simulate_pair_supply(const QnetConfig& cfg_in,
                                  util::Rng& rng) {
   FTL_ASSERT(cfg_in.pair_rate_hz > 0.0 && request_rate_hz > 0.0);
   BrokerStats stats;
+
+  const obs::ScopedSpan span("qnet.simulate_pair_supply", "qnet");
+  obs::Counter& m_generated = obs::registry().counter("qnet.pairs.generated");
+  obs::Counter& m_delivered = obs::registry().counter("qnet.pairs.delivered");
+  obs::Counter& m_expired = obs::registry().counter("qnet.pairs.expired");
+  obs::Counter& m_dropped_full =
+      obs::registry().counter("qnet.pairs.dropped_full");
+  obs::Counter& m_requests = obs::registry().counter("qnet.requests");
+  obs::Counter& m_hits = obs::registry().counter("qnet.pair_hits");
+  obs::Counter& m_misses = obs::registry().counter("qnet.pair_misses");
+  // Residual correlation quality of consumed pairs: flipped-CHSH win
+  // probability after storage decay (classical fallback is 0.75).
+  obs::Histogram& m_chsh_win =
+      obs::registry().histogram("qnet.consumed.chsh_win", 0.5, 1.0, 50);
+  obs::Histogram& m_occupancy = obs::registry().histogram(
+      "qnet.memory.occupancy", 0.0,
+      static_cast<double>(cfg_in.memory_slots) + 1.0,
+      std::min<std::size_t>(cfg_in.memory_slots + 1, 64));
+  obs::Gauge& m_occupancy_hw =
+      obs::registry().gauge("qnet.memory.occupancy.high_water");
   // A pair older than its useful window wins *less* than the classical
   // fallback, so a sensible QNIC discards it; clamp the effective storage
   // limit accordingly.
@@ -72,22 +94,27 @@ BrokerStats simulate_pair_supply(const QnetConfig& cfg_in,
     while (!memory.empty() && now - memory.front() > cfg.max_storage_s) {
       memory.pop_front();
       ++stats.pairs_expired;
+      m_expired.inc();
     }
   };
 
   std::function<void()> generate_pair = [&] {
     ++stats.pairs_generated;
+    m_generated.inc();
     if (rng.bernoulli(deliver_p)) {
       engine.schedule_in(delay, [&, gen_time = engine.now()] {
         (void)gen_time;
         ++stats.pairs_delivered;
+        m_delivered.inc();
         const double now = engine.now();
         evict_expired(now);
         if (memory.size() >= cfg.memory_slots) {
           memory.pop_front();  // overwrite the oldest (most decohered) pair
           ++stats.pairs_dropped_full;
+          m_dropped_full.inc();
         }
         memory.push_back(now);
+        m_occupancy_hw.update_max(static_cast<double>(memory.size()));
       });
     }
     engine.schedule_in(rng.exponential(cfg.pair_rate_hz), generate_pair);
@@ -96,16 +123,22 @@ BrokerStats simulate_pair_supply(const QnetConfig& cfg_in,
   std::function<void()> request = [&] {
     const double now = engine.now();
     ++stats.requests;
+    m_requests.inc();
     evict_expired(now);
+    m_occupancy.observe(static_cast<double>(memory.size()));
     if (!memory.empty()) {
       // Freshest-first: the newest pair has the highest residual
       // visibility; older pairs stay for later (or expire).
       const double age = now - memory.back();
       memory.pop_back();
       ++stats.pair_hits;
+      m_hits.inc();
       consumed_age_sum += age;
-      win_sum += win_curve.at(age);
+      const double win = win_curve.at(age);
+      win_sum += win;
+      m_chsh_win.observe(win);
     } else {
+      m_misses.inc();
       win_sum += 0.75;  // classical fallback strategy
     }
     engine.schedule_in(rng.exponential(request_rate_hz), request);

@@ -2,12 +2,14 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace ftl::qnet {
 
 double chsh_win_with_detectors(double efficiency, double visibility) {
   FTL_ASSERT(efficiency >= 0.0 && efficiency <= 1.0);
+  obs::registry().counter("qnet.detector.win_evals").inc();
   FTL_ASSERT(visibility >= 0.0 && visibility <= 1.0);
   const double w_q = 0.5 * (1.0 + visibility / std::sqrt(2.0));
   const double both = efficiency * efficiency;
@@ -19,6 +21,7 @@ double chsh_win_with_detectors(double efficiency, double visibility) {
 }
 
 double breakeven_efficiency(double visibility) {
+  obs::registry().counter("qnet.detector.breakeven_solves").inc();
   if (chsh_win_with_detectors(1.0, visibility) <= 0.75 + 1e-12) return 0.0;
   double lo = 0.0;
   double hi = 1.0;

@@ -1,5 +1,7 @@
 #include "qnet/distill.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qcore/gates.hpp"
 #include "util/assert.hpp"
 
@@ -8,6 +10,8 @@ namespace ftl::qnet {
 DistillResult bbpssw_round(const qcore::Density& pair1,
                            const qcore::Density& pair2) {
   FTL_ASSERT(pair1.num_qubits() == 2 && pair2.num_qubits() == 2);
+  const obs::ScopedSpan span("qnet.bbpssw_round", "qnet");
+  obs::registry().counter("qnet.distill.rounds").inc();
   // Qubit layout: [0]=A1, [1]=B1 (kept), [2]=A2, [3]=B2 (sacrificed).
   qcore::Density rho = pair1.tensor(pair2);
 
@@ -40,6 +44,9 @@ DistillResult bbpssw_round(const qcore::Density& pair1,
   out.success_probability = p_success;
   out.state = qcore::Density::from_matrix(std::move(kept));
   out.fidelity = out.state.fidelity_with(qcore::StateVec::bell_phi_plus());
+  obs::registry()
+      .histogram("qnet.distill.fidelity", 0.0, 1.0, 50)
+      .observe(out.fidelity);
   return out;
 }
 

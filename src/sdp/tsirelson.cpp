@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace ftl::sdp {
@@ -48,6 +50,9 @@ void random_unit_rows(std::vector<std::vector<double>>& rows, std::size_t rank,
 GramResult max_gram(const SymMatrix& c, const GramOptions& opts) {
   const std::size_t n = c.size();
   FTL_ASSERT(n >= 1);
+  const obs::ScopedSpan span("sdp.max_gram", "sdp");
+  obs::registry().counter("sdp.gram.solves").inc();
+  obs::Counter& m_sweeps = obs::registry().counter("sdp.gram.sweeps");
   const std::size_t rank = opts.rank == 0 ? n : opts.rank;
   ftl::util::Rng rng(opts.seed);
 
@@ -79,6 +84,7 @@ GramResult max_gram(const SymMatrix& c, const GramOptions& opts) {
         if (gnorm < 1e-14) continue;  // row is unconstrained; keep as is
         for (std::size_t k = 0; k < rank; ++k) rows[i][k] = grad[k] / gnorm;
       }
+      m_sweeps.inc();
       const double cur = objective(c, rows);
       if (cur - prev < opts.tol) {
         prev = cur;

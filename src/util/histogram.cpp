@@ -14,6 +14,18 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   FTL_ASSERT(bins > 0);
 }
 
+Histogram Histogram::from_counts(double lo, double hi,
+                                 std::vector<std::size_t> counts,
+                                 std::size_t underflow, std::size_t overflow) {
+  FTL_ASSERT(!counts.empty());
+  Histogram h(lo, hi, counts.size());
+  h.counts_ = std::move(counts);
+  for (const std::size_t c : h.counts_) h.total_ += c;
+  h.underflow_ = underflow;
+  h.overflow_ = overflow;
+  return h;
+}
+
 void Histogram::add(double x) {
   ++total_;
   if (x < lo_) {

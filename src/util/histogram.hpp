@@ -13,6 +13,16 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Rebuilds a histogram from externally accumulated bin counts (e.g. an
+  /// obs::Histogram snapshot), so quantile()/ascii() can be reused on data
+  /// gathered with atomic bins. `counts` must be non-empty; the edge bins
+  /// are assumed to already include the clamped under/overflow samples,
+  /// matching add()'s semantics.
+  [[nodiscard]] static Histogram from_counts(double lo, double hi,
+                                             std::vector<std::size_t> counts,
+                                             std::size_t underflow,
+                                             std::size_t overflow);
+
   void add(double x);
 
   [[nodiscard]] std::size_t total() const { return total_; }

@@ -1,0 +1,75 @@
+// The FTL_OBS_ENABLED=OFF twins must be genuinely free: empty types whose
+// calls compile to nothing. Both implementations are always compiled, so
+// this is checkable from any build configuration.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+namespace noop = ftl::obs::noop;
+
+// Empty types: no per-metric state, so instrumented call sites carry no
+// storage and the inlined no-op bodies fold away.
+static_assert(std::is_empty_v<noop::Counter>);
+static_assert(std::is_empty_v<noop::Gauge>);
+static_assert(std::is_empty_v<noop::Histogram>);
+static_assert(std::is_empty_v<noop::Registry>);
+static_assert(std::is_empty_v<noop::Tracer>);
+static_assert(std::is_empty_v<noop::ScopedSpan>);
+static_assert(std::is_empty_v<noop::ScopedHistogramTimer>);
+
+// The real twins are decidedly not empty — if one ever became empty the
+// aliases were probably mis-wired.
+static_assert(!std::is_empty_v<ftl::obs::real::Counter>);
+static_assert(!std::is_empty_v<ftl::obs::real::Histogram>);
+
+// The alias switch must agree with the macro in this translation unit.
+#if FTL_OBS_ENABLED
+static_assert(ftl::obs::kEnabled);
+static_assert(std::is_same_v<ftl::obs::Counter, ftl::obs::real::Counter>);
+#else
+static_assert(!ftl::obs::kEnabled);
+static_assert(std::is_same_v<ftl::obs::Counter, noop::Counter>);
+#endif
+
+TEST(ObsNoop, CallsAreSafeAndInert) {
+  noop::Registry& reg = noop::registry();
+  noop::Counter& c = reg.counter("anything", {{"k", "v"}});
+  c.inc();
+  c.inc(100);
+  EXPECT_EQ(c.value(), 0u);
+
+  noop::Gauge& g = reg.gauge("g");
+  g.set(5.0);
+  g.add(1.0);
+  g.update_max(99.0);
+  EXPECT_EQ(g.value(), 0.0);
+
+  noop::Histogram& h = reg.histogram("h", 0.0, 10.0, 5);
+  h.observe(3.0);
+  EXPECT_EQ(h.sample().total, 0u);
+
+  const ftl::obs::Snapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(ObsNoop, ScopedTypesConstructAndDestruct) {
+  noop::Histogram h;
+  {
+    noop::ScopedSpan span("name", "cat");
+    noop::ScopedHistogramTimer timer(h);
+  }
+  noop::Tracer& t = noop::tracer();
+  t.start();
+  t.record_instant("x", "y");
+  EXPECT_FALSE(t.active());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Run-report serialization: the emitted document must parse with the
+// in-tree strict parser and carry schema, metadata, and every metric kind.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+namespace json = ftl::obs::json;
+using ftl::obs::Labels;
+using ftl::obs::RunMeta;
+
+ftl::obs::Snapshot make_snapshot() {
+  ftl::obs::real::Registry reg;
+  reg.counter("lb.requests.arrived").inc(120);
+  reg.counter("lb.chsh.rounds_won", Labels{{"source", "quantum"}}).inc(90);
+  reg.gauge("lb.queue_depth.high_water").update_max(17.0);
+  ftl::obs::real::Histogram& h = reg.histogram("lb.queue_depth", 0.0, 8.0, 4);
+  for (double x : {0.5, 1.5, 1.5, 2.5, 3.5, 9.0}) h.observe(x);
+  return reg.snapshot();
+}
+
+const json::Value& member(const json::Value& v, std::string_view k) {
+  const json::Value* m = v.find(k);
+  EXPECT_NE(m, nullptr) << "missing member " << k;
+  static const json::Value kNull{};
+  return m == nullptr ? kNull : *m;
+}
+
+TEST(ObsReport, JsonCarriesSchemaMetaAndMetrics) {
+  RunMeta meta;
+  meta.name = "report_test";
+  meta.seed = 424242;
+  meta.config = "unit test \"quoted\" config";
+  meta.wall_time_s = 1.25;
+
+  const std::string text = ftl::obs::run_report_json(make_snapshot(), meta);
+  const auto doc = json::parse(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+
+  EXPECT_EQ(member(*doc, "schema").string, "ftl.obs.run_report/v1");
+  const json::Value& m = member(*doc, "meta");
+  EXPECT_EQ(member(m, "name").string, "report_test");
+  EXPECT_DOUBLE_EQ(member(m, "seed").number, 424242.0);
+  EXPECT_EQ(member(m, "config").string, meta.config);
+  EXPECT_DOUBLE_EQ(member(m, "wall_time_s").number, 1.25);
+  EXPECT_EQ(member(m, "git_rev").string, ftl::obs::git_rev());
+  EXPECT_EQ(member(m, "obs_enabled").boolean, ftl::obs::kEnabled);
+
+  const json::Value& metrics = member(*doc, "metrics");
+  const json::Value& counters = member(metrics, "counters");
+  ASSERT_TRUE(counters.is_array());
+  ASSERT_EQ(counters.array.size(), 2u);
+  bool found_labeled = false;
+  for (const json::Value& c : counters.array) {
+    if (member(c, "name").string == "lb.chsh.rounds_won") {
+      found_labeled = true;
+      EXPECT_DOUBLE_EQ(member(c, "value").number, 90.0);
+      const json::Value& labels = member(c, "labels");
+      ASSERT_TRUE(labels.is_object());
+      EXPECT_EQ(member(labels, "source").string, "quantum");
+    }
+  }
+  EXPECT_TRUE(found_labeled);
+
+  const json::Value& gauges = member(metrics, "gauges");
+  ASSERT_EQ(gauges.array.size(), 1u);
+  EXPECT_DOUBLE_EQ(member(gauges.array[0], "value").number, 17.0);
+
+  const json::Value& hists = member(metrics, "histograms");
+  ASSERT_EQ(hists.array.size(), 1u);
+  const json::Value& h = hists.array[0];
+  EXPECT_EQ(member(h, "name").string, "lb.queue_depth");
+  EXPECT_DOUBLE_EQ(member(h, "lo").number, 0.0);
+  EXPECT_DOUBLE_EQ(member(h, "hi").number, 8.0);
+  ASSERT_TRUE(member(h, "counts").is_array());
+  EXPECT_EQ(member(h, "counts").array.size(), 4u);
+  EXPECT_DOUBLE_EQ(member(h, "total").number, 6.0);
+  EXPECT_DOUBLE_EQ(member(h, "overflow").number, 1.0);
+  // Quantiles are precomputed for downstream plotting.
+  EXPECT_GT(member(h, "p50").number, 0.0);
+  EXPECT_GE(member(h, "p99").number, member(h, "p50").number);
+}
+
+TEST(ObsReport, WritesFileRoundTrip) {
+  RunMeta meta;
+  meta.name = "file_test";
+  meta.seed = 7;
+  const std::string path = testing::TempDir() + "/obs_report_test.json";
+  ASSERT_TRUE(ftl::obs::write_run_report(path, make_snapshot(), meta));
+
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto doc = json::parse(ss.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(member(*doc, "schema").string, "ftl.obs.run_report/v1");
+  std::remove(path.c_str());
+}
+
+TEST(ObsReport, WriteToUnwritablePathFails) {
+  RunMeta meta;
+  EXPECT_FALSE(ftl::obs::write_run_report(
+      "/nonexistent-dir/never/report.json", {}, meta));
+}
+
+TEST(ObsReport, GitRevIsNonEmpty) {
+  const std::string rev = ftl::obs::git_rev();
+  EXPECT_FALSE(rev.empty());
+}
+
+TEST(ObsReport, EmptySnapshotStillValid) {
+  const auto doc = json::parse(ftl::obs::run_report_json({}, RunMeta{}));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(member(member(*doc, "metrics"), "counters").array.empty());
+}
+
+}  // namespace
