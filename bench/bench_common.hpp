@@ -5,18 +5,32 @@
 //                          failures through the full benchmark pipeline)
 //   --metrics-out=<path>   write an `ftl.obs.run_report/v1` JSON file with
 //                          the metric registry snapshot + run metadata
+//   --metrics-every=<ms>   append an `ftl.obs.snapshot/v1` JSON line with a
+//                          timestamped registry snapshot every <ms>
+//                          milliseconds while the bench runs (written to
+//                          `<metrics-out>.series`, or `<bench>.series.jsonl`
+//                          when --metrics-out was not given); one line is
+//                          always written at start and one at exit
+//   --prom-out=<path>      write the final registry snapshot in Prometheus
+//                          text exposition format (textfile-collector style)
 //   --trace-out=<path>     write a Chrome trace_event JSON file (open in
 //                          chrome://tracing or https://ui.perfetto.dev)
 // The flags are parsed and *removed* from argv before benchmark::Initialize
-// sees them (it treats unknown flags as fatal).
+// sees them (it treats unknown flags as fatal). Flag/value pairing follows
+// util::is_value_token, so a separate negative-number value (`--seed -5`)
+// is consumed with its flag while an unrelated dash token (`--seed -v`) is
+// left in argv.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
 
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -26,8 +40,10 @@ namespace ftl::bench {
 
 struct Options {
   std::uint64_t seed = 0;
-  std::string metrics_out;  // empty = no run report
-  std::string trace_out;    // empty = no trace
+  std::string metrics_out;        // empty = no run report
+  std::string trace_out;          // empty = no trace
+  std::string prom_out;           // empty = no Prometheus export
+  std::uint64_t metrics_every_ms = 0;  // 0 = no periodic snapshots
 };
 
 /// Reads the common bench flags from the command line and then removes them
@@ -40,9 +56,13 @@ inline Options parse_args(int& argc, char** argv, std::uint64_t fallback_seed) {
       args.get("seed", static_cast<long long>(fallback_seed)));
   opts.metrics_out = args.get("metrics-out", std::string());
   opts.trace_out = args.get("trace-out", std::string());
+  opts.prom_out = args.get("prom-out", std::string());
+  opts.metrics_every_ms = static_cast<std::uint64_t>(
+      args.get("metrics-every", static_cast<long long>(0)));
 
   const auto is_ours = [](const std::string& arg) {
-    for (const char* name : {"--seed", "--metrics-out", "--trace-out"}) {
+    for (const char* name : {"--seed", "--metrics-out", "--metrics-every",
+                             "--prom-out", "--trace-out"}) {
       if (arg == name || arg.rfind(std::string(name) + "=", 0) == 0)
         return true;
     }
@@ -52,9 +72,11 @@ inline Options parse_args(int& argc, char** argv, std::uint64_t fallback_seed) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (is_ours(arg)) {
-      // Skip the flag and its separate (non-flag) value token, if any.
+      // Skip the flag and its separate value token, if any. Mirrors the
+      // util::Args pairing rule exactly, so a negative-number value is
+      // stripped with its flag instead of leaking to google-benchmark.
       if (arg.find('=') == std::string::npos && i + 1 < argc &&
-          std::string(argv[i + 1]).rfind("--", 0) != 0)
+          util::is_value_token(argv[i + 1]))
         ++i;
       continue;
     }
@@ -71,15 +93,23 @@ inline std::uint64_t extract_seed(int& argc, char** argv,
 }
 
 /// RAII observability session for a bench main(). Construct right after
-/// parse_args (starts the tracer if --trace-out was given); on destruction
-/// writes the run report and/or trace files requested on the command line.
+/// parse_args (starts the tracer and the periodic snapshotter if requested);
+/// on destruction writes the run report / Prometheus export / trace files
+/// requested on the command line.
 class ObsSession {
  public:
   ObsSession(std::string name, Options opts)
       : name_(std::move(name)),
         opts_(std::move(opts)),
-        t0_(std::chrono::steady_clock::now()) {
+        t0_(std::chrono::steady_clock::now()),
+        cpu0_(std::clock()) {
     if (!opts_.trace_out.empty()) obs::tracer().start();
+    if (opts_.metrics_every_ms > 0) {
+      snapshotter_.emplace(
+          series_path(),
+          std::chrono::milliseconds(opts_.metrics_every_ms));
+      snapshotter_->start();
+    }
   }
 
   ObsSession(const ObsSession&) = delete;
@@ -88,14 +118,31 @@ class ObsSession {
   /// Free-form config description recorded in the run report's metadata.
   void set_config(std::string config) { config_ = std::move(config); }
 
+  /// Where --metrics-every appends its snapshot lines.
+  [[nodiscard]] static std::string series_path_for(const std::string& name,
+                                                   const Options& opts) {
+    return opts.metrics_out.empty() ? name + ".series.jsonl"
+                                    : opts.metrics_out + ".series";
+  }
+  [[nodiscard]] std::string series_path() const {
+    return series_path_for(name_, opts_);
+  }
+
   ~ObsSession() {
     const auto dt = std::chrono::steady_clock::now() - t0_;
+    if (snapshotter_) {
+      snapshotter_->stop();
+      std::cerr << "[obs] " << snapshotter_->snapshots_written()
+                << " snapshots appended to " << series_path() << "\n";
+    }
     if (!opts_.metrics_out.empty()) {
       obs::RunMeta meta;
       meta.name = name_;
       meta.seed = opts_.seed;
       meta.config = config_;
       meta.wall_time_s = std::chrono::duration<double>(dt).count();
+      meta.cpu_time_s = static_cast<double>(std::clock() - cpu0_) /
+                        static_cast<double>(CLOCKS_PER_SEC);
       if (obs::write_run_report(opts_.metrics_out, obs::registry().snapshot(),
                                 meta)) {
         std::cerr << "[obs] run report written to " << opts_.metrics_out
@@ -103,6 +150,16 @@ class ObsSession {
       } else {
         std::cerr << "[obs] FAILED to write run report to "
                   << opts_.metrics_out << "\n";
+      }
+    }
+    if (!opts_.prom_out.empty()) {
+      if (obs::write_prometheus_text(opts_.prom_out,
+                                     obs::registry().snapshot())) {
+        std::cerr << "[obs] Prometheus export written to " << opts_.prom_out
+                  << "\n";
+      } else {
+        std::cerr << "[obs] FAILED to write Prometheus export to "
+                  << opts_.prom_out << "\n";
       }
     }
     if (!opts_.trace_out.empty()) {
@@ -121,6 +178,8 @@ class ObsSession {
   Options opts_;
   std::string config_;
   std::chrono::steady_clock::time_point t0_;
+  std::clock_t cpu0_;
+  std::optional<obs::PeriodicSnapshotter> snapshotter_;
 };
 
 }  // namespace ftl::bench

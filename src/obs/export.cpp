@@ -1,0 +1,400 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace ftl::obs {
+
+namespace {
+
+/// Locale-independent double formatting matching the JSON writer; the
+/// exposition format spells non-finite values +Inf / -Inf / NaN.
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_labels(std::string& out, const Labels& labels,
+                   const std::pair<std::string, std::string>* extra = nullptr) {
+  if (labels.empty() && extra == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_name(k, /*prefix=*/"");
+    out += "=\"";
+    out += prometheus_label_value(v);
+    out += '"';
+  }
+  if (extra != nullptr) {
+    if (!first) out += ',';
+    out += extra->first;
+    out += "=\"";
+    out += extra->second;
+    out += '"';
+  }
+  out += '}';
+}
+
+/// Emits `# TYPE family kind` the first time a family is seen. Families
+/// repeat across label sets (and distinct dotted names can collapse to the
+/// same sanitised family), so dedup by emitted name.
+void type_line(std::string& out, std::set<std::string>& emitted,
+               const std::string& family, const char* kind) {
+  if (!emitted.insert(family).second) return;
+  out += "# TYPE ";
+  out += family;
+  out += ' ';
+  out += kind;
+  out += '\n';
+}
+
+void sample_line(std::string& out, const std::string& name,
+                 const std::string& value, const ExportOptions& opts) {
+  out += name;
+  out += ' ';
+  out += value;
+  if (opts.timestamp_ms) {
+    out += ' ';
+    out += std::to_string(*opts.timestamp_ms);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name, std::string_view prefix) {
+  std::string out(prefix);
+  out.reserve(prefix.size() + name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || (digit && !out.empty())) {
+      out += c;
+    } else if (digit) {
+      out += '_';  // a metric name cannot start with a digit
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+std::string prometheus_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text(const Snapshot& snapshot,
+                            const ExportOptions& opts) {
+  std::string out;
+  std::set<std::string> emitted;
+
+  for (const CounterSample& c : snapshot.counters) {
+    // Counters carry the conventional `_total` suffix.
+    const std::string family = prometheus_name(c.name, opts.prefix) + "_total";
+    type_line(out, emitted, family, "counter");
+    std::string line = family;
+    append_labels(line, c.labels);
+    sample_line(out, line, std::to_string(c.value), opts);
+  }
+
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string family = prometheus_name(g.name, opts.prefix);
+    type_line(out, emitted, family, "gauge");
+    std::string line = family;
+    append_labels(line, g.labels);
+    sample_line(out, line, fmt_double(g.value), opts);
+  }
+
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string family = prometheus_name(h.name, opts.prefix);
+    type_line(out, emitted, family, "histogram");
+    const std::size_t bins = h.counts.size();
+    const double width =
+        bins > 0 ? (h.hi - h.lo) / static_cast<double>(bins) : 0.0;
+    // Out-of-range observations are clamped into the edge bins by the
+    // registry histogram, so the bin counts already cover every sample and
+    // the cumulative buckets sum to the total.
+    std::uint64_t cum = 0;
+    double approx_sum = 0.0;
+    for (std::size_t i = 0; i < bins; ++i) {
+      cum += h.counts[i];
+      const double edge = h.lo + width * static_cast<double>(i + 1);
+      const double center = h.lo + width * (static_cast<double>(i) + 0.5);
+      approx_sum += center * static_cast<double>(h.counts[i]);
+      const std::pair<std::string, std::string> le{"le", fmt_double(edge)};
+      std::string line = family + "_bucket";
+      append_labels(line, h.labels, &le);
+      sample_line(out, line, std::to_string(cum), opts);
+    }
+    const std::pair<std::string, std::string> le_inf{"le", "+Inf"};
+    std::string inf_line = family + "_bucket";
+    append_labels(inf_line, h.labels, &le_inf);
+    sample_line(out, inf_line, std::to_string(h.total), opts);
+
+    std::string sum_line = family + "_sum";
+    append_labels(sum_line, h.labels);
+    sample_line(out, sum_line, fmt_double(approx_sum), opts);
+
+    std::string count_line = family + "_count";
+    append_labels(count_line, h.labels);
+    sample_line(out, count_line, std::to_string(h.total), opts);
+  }
+
+  return out;
+}
+
+bool write_prometheus_text(const std::string& path, const Snapshot& snapshot,
+                           const ExportOptions& opts) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << prometheus_text(snapshot, opts);
+  return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------------------------
+// JSON re-parsing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool read_labels(const json::Value& v, Labels& out) {
+  const json::Value* labels = v.find("labels");
+  if (labels == nullptr || !labels->is_object()) return false;
+  for (const auto& [k, lv] : labels->object) {
+    if (!lv.is_string()) return false;
+    out.emplace_back(k, lv.string);
+  }
+  return true;
+}
+
+bool read_string(const json::Value& obj, std::string_view key,
+                 std::string& out) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) return false;
+  out = v->string;
+  return true;
+}
+
+bool read_number(const json::Value& obj, std::string_view key, double& out) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  out = v->number;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Snapshot> snapshot_from_json(const json::Value& metrics) {
+  if (!metrics.is_object()) return std::nullopt;
+  Snapshot snap;
+
+  const json::Value* counters = metrics.find("counters");
+  const json::Value* gauges = metrics.find("gauges");
+  const json::Value* histograms = metrics.find("histograms");
+  if (counters == nullptr || !counters->is_array() || gauges == nullptr ||
+      !gauges->is_array() || histograms == nullptr || !histograms->is_array())
+    return std::nullopt;
+
+  for (const json::Value& c : counters->array) {
+    CounterSample s;
+    double value = 0.0;
+    if (!read_string(c, "name", s.name) || !read_labels(c, s.labels) ||
+        !read_number(c, "value", value))
+      return std::nullopt;
+    s.value = static_cast<std::uint64_t>(value);
+    snap.counters.push_back(std::move(s));
+  }
+
+  for (const json::Value& g : gauges->array) {
+    GaugeSample s;
+    if (!read_string(g, "name", s.name) || !read_labels(g, s.labels) ||
+        !read_number(g, "value", s.value))
+      return std::nullopt;
+    snap.gauges.push_back(std::move(s));
+  }
+
+  for (const json::Value& h : histograms->array) {
+    HistogramSample s;
+    double underflow = 0.0, overflow = 0.0, total = 0.0;
+    if (!read_string(h, "name", s.name) || !read_labels(h, s.labels) ||
+        !read_number(h, "lo", s.lo) || !read_number(h, "hi", s.hi) ||
+        !read_number(h, "underflow", underflow) ||
+        !read_number(h, "overflow", overflow) ||
+        !read_number(h, "total", total))
+      return std::nullopt;
+    const json::Value* counts = h.find("counts");
+    if (counts == nullptr || !counts->is_array()) return std::nullopt;
+    for (const json::Value& c : counts->array) {
+      if (!c.is_number()) return std::nullopt;
+      s.counts.push_back(static_cast<std::size_t>(c.number));
+    }
+    s.underflow = static_cast<std::size_t>(underflow);
+    s.overflow = static_cast<std::size_t>(overflow);
+    s.total = static_cast<std::size_t>(total);
+    snap.histograms.push_back(std::move(s));
+  }
+
+  return snap;
+}
+
+std::optional<ParsedRunReport> parse_run_report(std::string_view text) {
+  const std::optional<json::Value> doc = json::parse(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+
+  const json::Value* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "ftl.obs.run_report/v1")
+    return std::nullopt;
+
+  const json::Value* meta = doc->find("meta");
+  if (meta == nullptr || !meta->is_object()) return std::nullopt;
+
+  ParsedRunReport report;
+  double seed = 0.0;
+  if (!read_string(*meta, "name", report.name) ||
+      !read_number(*meta, "seed", seed) ||
+      !read_string(*meta, "git_rev", report.git_rev) ||
+      !read_number(*meta, "wall_time_s", report.wall_time_s))
+    return std::nullopt;
+  report.seed = static_cast<std::uint64_t>(seed);
+  read_string(*meta, "config", report.config);  // optional
+  // cpu_time_s is additive in v1; reports written before it default to 0.
+  read_number(*meta, "cpu_time_s", report.cpu_time_s);
+  if (const json::Value* e = meta->find("obs_enabled");
+      e != nullptr && e->kind == json::Value::Kind::kBool)
+    report.obs_enabled = e->boolean;
+
+  const json::Value* metrics = doc->find("metrics");
+  if (metrics == nullptr) return std::nullopt;
+  std::optional<Snapshot> snap = snapshot_from_json(*metrics);
+  if (!snap) return std::nullopt;
+  report.metrics = std::move(*snap);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// PeriodicSnapshotter.
+// ---------------------------------------------------------------------------
+
+PeriodicSnapshotter::PeriodicSnapshotter(std::string path,
+                                         std::chrono::milliseconds interval,
+                                         Registry* registry)
+    : path_(std::move(path)),
+      interval_(std::max(interval, std::chrono::milliseconds(1))),
+      registry_(registry != nullptr ? registry : &obs::registry()) {}
+
+PeriodicSnapshotter::~PeriodicSnapshotter() { stop(); }
+
+void PeriodicSnapshotter::start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    start_time_ = std::chrono::steady_clock::now();
+  }
+  append_snapshot();
+  thread_ = std::thread([this] { loop(); });
+}
+
+void PeriodicSnapshotter::stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  append_snapshot();
+  std::lock_guard<std::mutex> l(mu_);
+  running_ = false;
+}
+
+bool PeriodicSnapshotter::running() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return running_;
+}
+
+std::uint64_t PeriodicSnapshotter::snapshots_written() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return written_;
+}
+
+bool PeriodicSnapshotter::ok() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return ok_;
+}
+
+void PeriodicSnapshotter::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_requested_; }))
+      break;
+    lock.unlock();
+    append_snapshot();
+    lock.lock();
+  }
+}
+
+void PeriodicSnapshotter::append_snapshot() {
+  // Snapshotting the registry takes its own lock; do it outside ours.
+  const Snapshot snap = registry_->snapshot();
+  const auto now = std::chrono::steady_clock::now();
+  const auto unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+
+  std::lock_guard<std::mutex> l(mu_);
+  json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.value("ftl.obs.snapshot/v1");
+  w.key("seq");
+  w.value(seq_++);
+  w.key("t_ms");
+  w.value(std::chrono::duration<double, std::milli>(now - start_time_).count());
+  w.key("unix_ms");
+  w.value(static_cast<std::int64_t>(unix_ms));
+  w.key("metrics");
+  write_metrics_json(w, snap);
+  w.end_object();
+
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    ok_ = false;
+    return;
+  }
+  out << w.take() << '\n';
+  if (!out) {
+    ok_ = false;
+    return;
+  }
+  ++written_;
+}
+
+}  // namespace ftl::obs

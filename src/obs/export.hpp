@@ -1,0 +1,150 @@
+// Live metrics export: Prometheus text exposition for registry snapshots,
+// periodic snapshot appending for long runs, and re-parsing of the JSON
+// files the subsystem writes (run reports, snapshot series) back into
+// Snapshot values for downstream tooling (ftlbench, tests).
+//
+// Three pieces:
+//  * prometheus_text() serializes a Snapshot in the Prometheus text
+//    exposition format (version 0.0.4): `# TYPE` lines per metric family,
+//    label escaping, cumulative `_bucket{le=...}` histogram encoding.
+//    Metric names are sanitised (`lb.queue_depth` -> `ftl_lb_queue_depth`)
+//    and counters get the conventional `_total` suffix. Histogram `_sum`
+//    is approximated from bin midpoints (the atomic bins do not track an
+//    exact sum); the relative error is bounded by half a bin width.
+//  * PeriodicSnapshotter runs a background thread that appends one
+//    timestamped `ftl.obs.snapshot/v1` JSON line to a file at a fixed
+//    interval — one line immediately at start(), one per tick, and a final
+//    one at stop(), so even short runs record a start/end pair. This is
+//    what the benches' `--metrics-every=<ms>` flag drives.
+//  * parse_run_report() / snapshot_from_json() are the strict readers for
+//    `ftl.obs.run_report/v1` documents, used by the ftlbench trajectory
+//    driver and by tests to round-trip what the writers emit.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace ftl::obs {
+
+struct ExportOptions {
+  /// Prepended to every metric family name after sanitisation.
+  std::string prefix = "ftl_";
+  /// When set, appended (in milliseconds since the Unix epoch) after every
+  /// sample value, per the exposition grammar.
+  std::optional<std::int64_t> timestamp_ms;
+};
+
+/// Sanitises a dotted metric name into a valid Prometheus metric name:
+/// `prefix` + name with every character outside [a-zA-Z0-9_:] replaced by
+/// '_'. A leading digit after the prefix is also escaped.
+[[nodiscard]] std::string prometheus_name(std::string_view name,
+                                          std::string_view prefix = "ftl_");
+
+/// Escapes a label value for the exposition format (backslash, double
+/// quote, and newline escapes).
+[[nodiscard]] std::string prometheus_label_value(std::string_view v);
+
+/// Serializes a snapshot in the Prometheus text exposition format.
+[[nodiscard]] std::string prometheus_text(const Snapshot& snapshot,
+                                          const ExportOptions& opts = {});
+
+/// Writes prometheus_text to `path` (node-exporter textfile-collector
+/// style: whole-file overwrite); returns false on I/O failure.
+bool write_prometheus_text(const std::string& path, const Snapshot& snapshot,
+                           const ExportOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// JSON re-parsing (run reports and snapshot lines back into Snapshot).
+// ---------------------------------------------------------------------------
+
+/// Rebuilds a Snapshot from a parsed `metrics` JSON object (the shape
+/// write_metrics_json emits). Returns nullopt when the shape is wrong.
+[[nodiscard]] std::optional<Snapshot> snapshot_from_json(
+    const json::Value& metrics);
+
+/// A fully parsed `ftl.obs.run_report/v1` document.
+struct ParsedRunReport {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::string config;
+  std::string git_rev;
+  bool obs_enabled = true;
+  double wall_time_s = 0.0;
+  double cpu_time_s = 0.0;
+  Snapshot metrics;
+};
+
+/// Strict parse of a run-report document; nullopt on syntax errors, a
+/// wrong `schema` tag, or missing required fields.
+[[nodiscard]] std::optional<ParsedRunReport> parse_run_report(
+    std::string_view text);
+
+// ---------------------------------------------------------------------------
+// Periodic snapshotting.
+// ---------------------------------------------------------------------------
+
+/// Appends timestamped registry snapshots to a file from a background
+/// thread. Each line is a standalone JSON document:
+///   {"schema": "ftl.obs.snapshot/v1", "seq": N, "t_ms": <since start()>,
+///    "unix_ms": <system clock>, "metrics": {...}}
+/// so the file is JSONL and tail-able while the run is live. start() and
+/// stop() are idempotent and safe to race from multiple threads; the
+/// destructor stops the thread. Not gated by FTL_OBS_ENABLED: with the
+/// kill switch off the registry snapshot is simply empty, and the
+/// timestamps alone still record liveness.
+class PeriodicSnapshotter {
+ public:
+  /// `registry` defaults to the process-wide obs::registry().
+  PeriodicSnapshotter(std::string path, std::chrono::milliseconds interval,
+                      Registry* registry = nullptr);
+  ~PeriodicSnapshotter();
+
+  PeriodicSnapshotter(const PeriodicSnapshotter&) = delete;
+  PeriodicSnapshotter& operator=(const PeriodicSnapshotter&) = delete;
+
+  /// Starts the background thread and appends the seq-0 snapshot. No-op if
+  /// already running.
+  void start();
+
+  /// Stops the thread and appends a final snapshot. No-op if not running.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// Lines successfully appended so far.
+  [[nodiscard]] std::uint64_t snapshots_written() const;
+
+  /// True unless any append failed (missing directory, disk full, ...).
+  [[nodiscard]] bool ok() const;
+
+ private:
+  void loop();
+  void append_snapshot();
+
+  const std::string path_;
+  const std::chrono::milliseconds interval_;
+  Registry* const registry_;
+
+  std::mutex lifecycle_mu_;  // serializes start()/stop() (thread join)
+  mutable std::mutex mu_;    // guards everything below
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;     // guarded by mu_
+  bool stop_requested_ = false;
+  std::uint64_t written_ = 0;
+  bool ok_ = true;
+  std::uint64_t seq_ = 0;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace ftl::obs

@@ -49,9 +49,18 @@ std::string run_report_json(const Snapshot& snapshot, const RunMeta& meta) {
   w.value(kEnabled);
   w.key("wall_time_s");
   w.value(meta.wall_time_s);
+  w.key("cpu_time_s");
+  w.value(meta.cpu_time_s);
   w.end_object();
 
   w.key("metrics");
+  write_metrics_json(w, snapshot);
+
+  w.end_object();  // root
+  return w.take();
+}
+
+void write_metrics_json(json::Writer& w, const Snapshot& snapshot) {
   w.begin_object();
 
   w.key("counters");
@@ -113,8 +122,6 @@ std::string run_report_json(const Snapshot& snapshot, const RunMeta& meta) {
   w.end_array();
 
   w.end_object();  // metrics
-  w.end_object();  // root
-  return w.take();
 }
 
 bool write_run_report(const std::string& path, const Snapshot& snapshot,

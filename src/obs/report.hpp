@@ -8,7 +8,8 @@
 //   {
 //     "schema": "ftl.obs.run_report/v1",
 //     "meta": {"name": ..., "seed": ..., "config": ..., "git_rev": ...,
-//              "obs_enabled": true|false, "wall_time_s": ...},
+//              "obs_enabled": true|false, "wall_time_s": ...,
+//              "cpu_time_s": ...},
 //     "metrics": {
 //       "counters":   [{"name", "labels": {...}, "value"}, ...],
 //       "gauges":     [{"name", "labels": {...}, "value"}, ...],
@@ -24,6 +25,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
 namespace ftl::obs {
@@ -35,6 +37,8 @@ struct RunMeta {
   /// Free-form config description (flag values, sweep shape, ...).
   std::string config;
   double wall_time_s = 0.0;
+  /// Process CPU time (user+system) consumed by the run; 0 when unmeasured.
+  double cpu_time_s = 0.0;
 };
 
 /// Git revision baked in at configure time (FTL_GIT_REV), or "unknown".
@@ -43,6 +47,12 @@ struct RunMeta {
 /// Serializes a snapshot + metadata as a run-report JSON document.
 [[nodiscard]] std::string run_report_json(const Snapshot& snapshot,
                                           const RunMeta& meta);
+
+/// Writes the `metrics` object ({"counters": ..., "gauges": ...,
+/// "histograms": ...}) for `snapshot` into an open writer. Shared between
+/// the run-report serializer and the periodic-snapshot appender so both
+/// files carry the exact same metric encoding.
+void write_metrics_json(json::Writer& w, const Snapshot& snapshot);
 
 /// Writes run_report_json to `path`; returns false on I/O failure.
 bool write_run_report(const std::string& path, const Snapshot& snapshot,

@@ -6,6 +6,16 @@
 
 namespace ftl::util {
 
+bool is_value_token(std::string_view token) {
+  if (token.empty() || token[0] != '-') return true;
+  if (token.size() == 1) return true;  // bare "-" (stdin convention)
+  // A dash token is a value only if it parses as a complete number.
+  const std::string s(token);
+  char* end = nullptr;
+  (void)std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
 Args::Args(int argc, const char* const* argv, bool allow_unknown) {
   (void)allow_unknown;  // reserved; all flags are currently accepted
   FTL_ASSERT(argc >= 1);
@@ -23,9 +33,9 @@ Args::Args(int argc, const char* const* argv, bool allow_unknown) {
       flags_[body.substr(0, eq)] = body.substr(eq + 1);
       continue;
     }
-    // `--name value` if the next token exists and is not itself a flag;
-    // otherwise a boolean `--name`.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    // `--name value` if the next token exists and is not itself a flag
+    // (negative numbers count as values); otherwise a boolean `--name`.
+    if (i + 1 < argc && is_value_token(argv[i + 1])) {
       flags_[body] = argv[++i];
     } else {
       flags_[body] = "";

@@ -9,9 +9,18 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ftl::util {
+
+/// True when `token` can serve as the space-separated value of a preceding
+/// flag: anything not beginning with '-', the bare "-" (stdin convention),
+/// and numeric tokens such as "-5", "-0.25", or "-1e-3". Dash tokens that
+/// are not numbers ("-v", "--flag") are flags in their own right and must
+/// not be swallowed as values. Args and the bench argv-stripping loop share
+/// this predicate so they always agree on flag/value pairing.
+[[nodiscard]] bool is_value_token(std::string_view token);
 
 class Args {
  public:

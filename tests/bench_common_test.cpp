@@ -1,0 +1,121 @@
+// bench::parse_args: flag extraction, argv stripping, and the hardened
+// flag/value pairing (negative numbers are values; unrelated dash tokens
+// are left for google-benchmark).
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ftl::bench {
+namespace {
+
+/// Mutable argv for parse_args (which rewrites it in place).
+class ArgvFixture {
+ public:
+  explicit ArgvFixture(std::initializer_list<const char*> args) {
+    for (const char* a : args) storage_.emplace_back(a);
+    for (std::string& s : storage_) argv_.push_back(s.data());
+    argc_ = static_cast<int>(argv_.size());
+  }
+
+  int& argc() { return argc_; }
+  char** argv() { return argv_.data(); }
+
+  /// argv contents after parse_args rewrote it.
+  std::vector<std::string> remaining() const {
+    return {argv_.begin(), argv_.begin() + argc_};
+  }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+  int argc_ = 0;
+};
+
+TEST(BenchParseArgs, DefaultsWhenNoFlags) {
+  ArgvFixture fx({"bench", "--benchmark_filter=BM_Foo"});
+  const Options opts = parse_args(fx.argc(), fx.argv(), 7);
+  EXPECT_EQ(opts.seed, 7u);
+  EXPECT_TRUE(opts.metrics_out.empty());
+  EXPECT_TRUE(opts.trace_out.empty());
+  EXPECT_TRUE(opts.prom_out.empty());
+  EXPECT_EQ(opts.metrics_every_ms, 0u);
+  EXPECT_EQ(fx.remaining(),
+            (std::vector<std::string>{"bench", "--benchmark_filter=BM_Foo"}));
+}
+
+TEST(BenchParseArgs, StripsAllOwnedFlags) {
+  ArgvFixture fx({"bench", "--seed", "123", "--metrics-out=m.json",
+                  "--metrics-every=50", "--prom-out=m.prom",
+                  "--trace-out", "t.json", "--benchmark_filter=X"});
+  const Options opts = parse_args(fx.argc(), fx.argv(), 7);
+  EXPECT_EQ(opts.seed, 123u);
+  EXPECT_EQ(opts.metrics_out, "m.json");
+  EXPECT_EQ(opts.metrics_every_ms, 50u);
+  EXPECT_EQ(opts.prom_out, "m.prom");
+  EXPECT_EQ(opts.trace_out, "t.json");
+  EXPECT_EQ(fx.remaining(),
+            (std::vector<std::string>{"bench", "--benchmark_filter=X"}));
+}
+
+TEST(BenchParseArgs, NegativeNumberValueIsConsumedWithItsFlag) {
+  // A separate value token beginning with '-' must be stripped together
+  // with the flag, not leaked to benchmark::Initialize (which would treat
+  // it as an unknown flag and abort).
+  ArgvFixture fx({"bench", "--seed", "-5", "--benchmark_filter=X"});
+  const Options opts = parse_args(fx.argc(), fx.argv(), 7);
+  EXPECT_EQ(opts.seed, static_cast<std::uint64_t>(-5));
+  EXPECT_EQ(fx.remaining(),
+            (std::vector<std::string>{"bench", "--benchmark_filter=X"}));
+}
+
+TEST(BenchParseArgs, DashTokenThatIsNotANumberIsNotSwallowed) {
+  // "-v" is not a value; --seed falls back and "-v" stays in argv.
+  ArgvFixture fx({"bench", "--seed", "-v"});
+  const Options opts = parse_args(fx.argc(), fx.argv(), 7);
+  EXPECT_EQ(opts.seed, 7u);
+  EXPECT_EQ(fx.remaining(), (std::vector<std::string>{"bench", "-v"}));
+}
+
+TEST(BenchParseArgs, FlagFollowedByFlagDoesNotConsume) {
+  ArgvFixture fx({"bench", "--seed", "--metrics-out=m.json"});
+  const Options opts = parse_args(fx.argc(), fx.argv(), 7);
+  EXPECT_EQ(opts.seed, 7u);  // bare --seed has no value: fallback
+  EXPECT_EQ(opts.metrics_out, "m.json");
+  EXPECT_EQ(fx.remaining(), (std::vector<std::string>{"bench"}));
+}
+
+TEST(BenchParseArgs, SeedAtEndOfArgv) {
+  ArgvFixture fx({"bench", "--seed"});
+  const Options opts = parse_args(fx.argc(), fx.argv(), 9);
+  EXPECT_EQ(opts.seed, 9u);
+  EXPECT_EQ(fx.remaining(), (std::vector<std::string>{"bench"}));
+}
+
+TEST(BenchParseArgs, ExtractSeedShorthand) {
+  ArgvFixture fx({"bench", "--seed", "31"});
+  EXPECT_EQ(extract_seed(fx.argc(), fx.argv(), 7), 31u);
+  EXPECT_EQ(fx.remaining(), (std::vector<std::string>{"bench"}));
+}
+
+TEST(BenchParseArgs, EqualsFormNegativeSeed) {
+  ArgvFixture fx({"bench", "--seed=-1"});
+  const Options opts = parse_args(fx.argc(), fx.argv(), 7);
+  EXPECT_EQ(opts.seed, static_cast<std::uint64_t>(-1));
+  EXPECT_EQ(fx.remaining(), (std::vector<std::string>{"bench"}));
+}
+
+TEST(ObsSessionSeries, SeriesPathDerivation) {
+  Options with_metrics;
+  with_metrics.metrics_out = "out/report.json";
+  EXPECT_EQ(ObsSession::series_path_for("bench_x", with_metrics),
+            "out/report.json.series");
+  EXPECT_EQ(ObsSession::series_path_for("bench_x", Options{}),
+            "bench_x.series.jsonl");
+}
+
+}  // namespace
+}  // namespace ftl::bench

@@ -1,0 +1,207 @@
+// Prometheus text-exposition serializer: golden output, grammar
+// conformance, and run-report JSON round-tripping.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace ftl::obs {
+namespace {
+
+TEST(PrometheusName, SanitisesDottedNames) {
+  EXPECT_EQ(prometheus_name("lb.queue_depth"), "ftl_lb_queue_depth");
+  EXPECT_EQ(prometheus_name("qnet.pairs.delivered"),
+            "ftl_qnet_pairs_delivered");
+  EXPECT_EQ(prometheus_name("already_valid:name"), "ftl_already_valid:name");
+  EXPECT_EQ(prometheus_name("weird-chars %", ""), "weird_chars__");
+}
+
+TEST(PrometheusName, LeadingDigitEscaped) {
+  EXPECT_EQ(prometheus_name("9lives", ""), "_9lives");
+  // With a prefix the digit is no longer leading.
+  EXPECT_EQ(prometheus_name("9lives"), "ftl_9lives");
+}
+
+TEST(PrometheusLabelValue, Escapes) {
+  EXPECT_EQ(prometheus_label_value(R"(a\b)"), R"(a\\b)");
+  EXPECT_EQ(prometheus_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_label_value("two\nlines"), "two\\nlines");
+}
+
+Snapshot sample_snapshot() {
+  Snapshot snap;
+  snap.counters.push_back(
+      {"lb.chsh.rounds_won", {{"source", "quantum-chsh(v=1)"}}, 42});
+  snap.counters.push_back({"sdp.gram.solves", {}, 7});
+  snap.gauges.push_back({"qnet.memory.occupancy", {}, 0.5});
+  HistogramSample h;
+  h.name = "lb.queue_depth";
+  h.lo = 0.0;
+  h.hi = 4.0;
+  h.counts = {3, 1, 0, 2};
+  h.total = 6;
+  snap.histograms.push_back(h);
+  return snap;
+}
+
+TEST(PrometheusText, GoldenOutput) {
+  const std::string text = prometheus_text(sample_snapshot());
+  const std::string expected =
+      "# TYPE ftl_lb_chsh_rounds_won_total counter\n"
+      "ftl_lb_chsh_rounds_won_total{source=\"quantum-chsh(v=1)\"} 42\n"
+      "# TYPE ftl_sdp_gram_solves_total counter\n"
+      "ftl_sdp_gram_solves_total 7\n"
+      "# TYPE ftl_qnet_memory_occupancy gauge\n"
+      "ftl_qnet_memory_occupancy 0.5\n"
+      "# TYPE ftl_lb_queue_depth histogram\n"
+      "ftl_lb_queue_depth_bucket{le=\"1\"} 3\n"
+      "ftl_lb_queue_depth_bucket{le=\"2\"} 4\n"
+      "ftl_lb_queue_depth_bucket{le=\"3\"} 4\n"
+      "ftl_lb_queue_depth_bucket{le=\"4\"} 6\n"
+      "ftl_lb_queue_depth_bucket{le=\"+Inf\"} 6\n"
+      "ftl_lb_queue_depth_sum 10\n"
+      "ftl_lb_queue_depth_count 6\n";
+  EXPECT_EQ(text, expected);
+}
+
+/// Line-level exposition grammar: comments or `name[{labels}] value [ts]`.
+void expect_valid_exposition(const std::string& text) {
+  static const std::regex comment(R"(^# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]*.*$)");
+  static const std::regex sample(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (([-+]?[0-9].*)|\+Inf|-Inf|NaN)( -?[0-9]+)?$)");
+  std::istringstream in(text);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    EXPECT_TRUE(std::regex_match(line, comment) ||
+                std::regex_match(line, sample))
+        << "line " << n << " violates the exposition grammar: " << line;
+  }
+  EXPECT_GT(n, 0u);
+}
+
+TEST(PrometheusText, ParsesUnderExpositionGrammar) {
+  expect_valid_exposition(prometheus_text(sample_snapshot()));
+}
+
+TEST(PrometheusText, BucketsAreCumulativeAndCapped) {
+  const std::string text = prometheus_text(sample_snapshot());
+  // Extract all bucket values in order and check monotonicity + final cap.
+  std::regex bucket_re("ftl_lb_queue_depth_bucket\\{le=\"[^\"]*\"\\} (\\d+)");
+  auto begin = std::sregex_iterator(text.begin(), text.end(), bucket_re);
+  std::vector<long> values;
+  for (auto it = begin; it != std::sregex_iterator(); ++it)
+    values.push_back(std::stol((*it)[1]));
+  ASSERT_EQ(values.size(), 5u);
+  for (std::size_t i = 1; i < values.size(); ++i)
+    EXPECT_LE(values[i - 1], values[i]);
+  EXPECT_EQ(values.back(), 6);
+}
+
+TEST(PrometheusText, TimestampOption) {
+  ExportOptions opts;
+  opts.timestamp_ms = 1700000000123;
+  const std::string text = prometheus_text(sample_snapshot(), opts);
+  EXPECT_NE(text.find("ftl_sdp_gram_solves_total 7 1700000000123\n"),
+            std::string::npos);
+  expect_valid_exposition(text);
+}
+
+TEST(PrometheusText, LiveRegistrySnapshotExports) {
+  Registry reg;
+  reg.counter("games.xor.evals").inc(3);
+  reg.gauge("sim.queue.high_water", {{"engine", "a"}}).set(11.0);
+  reg.histogram("sdp.solve_ms", 0.0, 10.0, 4).observe(2.5);
+  const std::string text = prometheus_text(reg.snapshot());
+  if (kEnabled) {
+    EXPECT_NE(text.find("ftl_games_xor_evals_total 3\n"), std::string::npos);
+    EXPECT_NE(text.find("ftl_sim_queue_high_water{engine=\"a\"} 11\n"),
+              std::string::npos);
+    expect_valid_exposition(text);
+  } else {
+    EXPECT_TRUE(text.empty());
+  }
+}
+
+// --- run-report round trip ------------------------------------------------
+
+TEST(ParseRunReport, RoundTripsWriterOutput) {
+  RunMeta meta;
+  meta.name = "bench_unit";
+  meta.seed = 99;
+  meta.config = "n=5";
+  meta.wall_time_s = 1.5;
+  meta.cpu_time_s = 1.25;
+  const Snapshot snap = sample_snapshot();
+
+  const std::optional<ParsedRunReport> report =
+      parse_run_report(run_report_json(snap, meta));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->name, "bench_unit");
+  EXPECT_EQ(report->seed, 99u);
+  EXPECT_EQ(report->config, "n=5");
+  EXPECT_EQ(report->git_rev, git_rev());
+  EXPECT_EQ(report->obs_enabled, kEnabled);
+  EXPECT_DOUBLE_EQ(report->wall_time_s, 1.5);
+  EXPECT_DOUBLE_EQ(report->cpu_time_s, 1.25);
+
+  ASSERT_EQ(report->metrics.counters.size(), snap.counters.size());
+  EXPECT_EQ(report->metrics.counters[0].name, "lb.chsh.rounds_won");
+  EXPECT_EQ(report->metrics.counters[0].value, 42u);
+  ASSERT_EQ(report->metrics.counters[0].labels.size(), 1u);
+  EXPECT_EQ(report->metrics.counters[0].labels[0].first, "source");
+  ASSERT_EQ(report->metrics.histograms.size(), 1u);
+  EXPECT_EQ(report->metrics.histograms[0].counts,
+            (std::vector<std::size_t>{3, 1, 0, 2}));
+  EXPECT_EQ(report->metrics.histograms[0].total, 6u);
+}
+
+TEST(ParseRunReport, RejectsWrongSchemaAndGarbage) {
+  EXPECT_FALSE(parse_run_report("not json").has_value());
+  EXPECT_FALSE(parse_run_report("{}").has_value());
+  EXPECT_FALSE(
+      parse_run_report(R"({"schema": "ftl.obs.run_report/v2"})").has_value());
+  // Valid schema but missing metrics.
+  EXPECT_FALSE(parse_run_report(
+                   R"({"schema": "ftl.obs.run_report/v1",
+                       "meta": {"name": "x", "seed": 1, "git_rev": "g",
+                                "wall_time_s": 0.1}})")
+                   .has_value());
+}
+
+TEST(ParseRunReport, CpuTimeOptionalForOlderReports) {
+  const std::string text =
+      R"({"schema": "ftl.obs.run_report/v1",
+          "meta": {"name": "x", "seed": 1, "git_rev": "g",
+                   "wall_time_s": 0.5},
+          "metrics": {"counters": [], "gauges": [], "histograms": []}})";
+  const std::optional<ParsedRunReport> report = parse_run_report(text);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_DOUBLE_EQ(report->cpu_time_s, 0.0);
+}
+
+TEST(SnapshotFromJson, RejectsMalformedShapes) {
+  const auto parse_metrics = [](std::string_view text) {
+    const std::optional<json::Value> v = json::parse(text);
+    return v ? snapshot_from_json(*v) : std::nullopt;
+  };
+  EXPECT_FALSE(parse_metrics("[]").has_value());
+  EXPECT_FALSE(parse_metrics(R"({"counters": []})").has_value());
+  EXPECT_FALSE(
+      parse_metrics(
+          R"({"counters": [{"name": "c"}], "gauges": [], "histograms": []})")
+          .has_value());
+  EXPECT_TRUE(
+      parse_metrics(R"({"counters": [], "gauges": [], "histograms": []})")
+          .has_value());
+}
+
+}  // namespace
+}  // namespace ftl::obs

@@ -75,5 +75,48 @@ TEST(Args, BareDoubleDashDies) {
   EXPECT_DEATH(parse({"prog", "--"}), "not a valid flag");
 }
 
+TEST(IsValueToken, ClassifiesTokens) {
+  EXPECT_TRUE(is_value_token("86"));
+  EXPECT_TRUE(is_value_token("input.csv"));
+  EXPECT_TRUE(is_value_token(""));
+  EXPECT_TRUE(is_value_token("-"));  // stdin convention
+  EXPECT_TRUE(is_value_token("-5"));
+  EXPECT_TRUE(is_value_token("-0.25"));
+  EXPECT_TRUE(is_value_token("-1e-3"));
+  EXPECT_FALSE(is_value_token("-v"));
+  EXPECT_FALSE(is_value_token("-abc"));
+  EXPECT_FALSE(is_value_token("--flag"));
+  EXPECT_FALSE(is_value_token("--seed"));
+  EXPECT_FALSE(is_value_token("--"));
+}
+
+TEST(Args, NegativeNumberAsSeparateValue) {
+  const Args a = parse({"prog", "--offset", "-5"});
+  EXPECT_EQ(a.get("offset", static_cast<long long>(0)), -5);
+  EXPECT_TRUE(a.positional().empty());
+}
+
+TEST(Args, NegativeDoubleAsSeparateValue) {
+  const Args a = parse({"prog", "--bias", "-0.25", "--rate", "-1e-3"});
+  EXPECT_DOUBLE_EQ(a.get("bias", 0.0), -0.25);
+  EXPECT_DOUBLE_EQ(a.get("rate", 0.0), -1e-3);
+}
+
+TEST(Args, DashTokenIsNotSwallowedAsValue) {
+  // "-v" is flag-shaped, not a number: --fast stays boolean and "-v"
+  // becomes positional instead of being consumed as the value.
+  const Args a = parse({"prog", "--fast", "-v"});
+  EXPECT_TRUE(a.get("fast", false));
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "-v");
+}
+
+TEST(Args, NegativeNumberPositional) {
+  const Args a = parse({"prog", "-5", "file.csv"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "-5");
+  EXPECT_EQ(a.positional()[1], "file.csv");
+}
+
 }  // namespace
 }  // namespace ftl::util

@@ -1,0 +1,215 @@
+// ftlbench — continuous-benchmarking driver for the bench suite.
+//
+//   ftlbench run --bench-dir=build/bench [--out-dir=.] [--benches=a,b]
+//                [--seed=42] [--repetitions=1] [--filter=<gbench regex>]
+//                [--metrics-every=<ms>] [--verbose]
+//       Runs each bench binary with a pinned seed, collects its
+//       `ftl.obs.run_report/v1`, and appends one entry per repetition to
+//       `<out-dir>/BENCH_<name>.json` (schema ftl.obs.bench_trajectory/v1).
+//
+//   ftlbench compare <baseline> <candidate> [--metric=wall_time_s[,...]]
+//                [--threshold=1.25] [--confidence=0.95] [--resamples=2000]
+//                [--boot-seed=1]
+//       Baseline/candidate are trajectory files or directories of
+//       BENCH_*.json. Prints a per-(bench, metric) table with the
+//       bootstrap CI of the candidate/baseline mean ratio. Exit status:
+//       0 = no regression, 1 = at least one metric regressed beyond the
+//       threshold with a CI excluding 1.0, 2 = usage or I/O error.
+//
+//   ftlbench export <run_report.json> [--prefix=ftl_]
+//       Re-serializes a run report's metrics in the Prometheus text
+//       exposition format on stdout (pushgateway / textfile collector).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ftlbench/compare.hpp"
+#include "ftlbench/runner.hpp"
+#include "ftlbench/trajectory.hpp"
+#include "obs/export.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace ftl;
+using namespace ftl::benchtool;
+
+int usage(std::ostream& out) {
+  out << "usage:\n"
+         "  ftlbench run --bench-dir=<dir> [--out-dir=.] [--benches=a,b]\n"
+         "               [--seed=42] [--repetitions=1] [--filter=<regex>]\n"
+         "               [--metrics-every=<ms>] [--verbose]\n"
+         "  ftlbench compare <baseline> <candidate>\n"
+         "               [--metric=wall_time_s[,...]] [--threshold=1.25]\n"
+         "               [--confidence=0.95] [--resamples=2000] "
+         "[--boot-seed=1]\n"
+         "  ftlbench export <run_report.json> [--prefix=ftl_]\n";
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// Trajectory files addressed by a CLI path: the file itself, or every
+/// BENCH_*.json inside a directory, keyed by file name.
+std::map<std::string, std::string> trajectory_files(const std::string& path) {
+  std::map<std::string, std::string> files;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const fs::directory_entry& e : fs::directory_iterator(path, ec)) {
+      const std::string name = e.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 && e.path().extension() == ".json")
+        files[name] = e.path().string();
+    }
+  } else {
+    files[fs::path(path).filename().string()] = path;
+  }
+  return files;
+}
+
+int cmd_run(const util::Args& args) {
+  RunConfig config;
+  config.bench_dir = args.get("bench-dir", std::string());
+  if (config.bench_dir.empty()) {
+    std::cerr << "ftlbench run: --bench-dir is required\n";
+    return 2;
+  }
+  config.out_dir = args.get("out-dir", std::string("."));
+  config.benches = split_csv(args.get("benches", std::string()));
+  config.seed = static_cast<std::uint64_t>(
+      args.get("seed", static_cast<long long>(42)));
+  config.repetitions = args.get("repetitions", static_cast<std::size_t>(1));
+  config.gbench_filter = args.get("filter", std::string());
+  config.metrics_every_ms = static_cast<std::uint64_t>(
+      args.get("metrics-every", static_cast<long long>(0)));
+  config.verbose = args.get("verbose", false);
+
+  const int failures = run_all(config, std::cout);
+  if (failures != 0) {
+    std::cerr << "ftlbench run: " << failures << " run(s) failed\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_compare(const util::Args& args) {
+  if (args.positional().size() != 3) {  // "compare" + two paths
+    std::cerr << "ftlbench compare: need <baseline> <candidate>\n";
+    return 2;
+  }
+  CompareOptions opts;
+  opts.metrics = split_csv(args.get("metric", std::string("wall_time_s")));
+  opts.threshold = args.get("threshold", 1.25);
+  opts.confidence = args.get("confidence", 0.95);
+  opts.resamples = args.get("resamples", static_cast<std::size_t>(2000));
+  opts.seed = static_cast<std::uint64_t>(
+      args.get("boot-seed", static_cast<long long>(1)));
+  if (opts.threshold <= 1.0) {
+    std::cerr << "ftlbench compare: --threshold must be > 1\n";
+    return 2;
+  }
+
+  const std::map<std::string, std::string> base_files =
+      trajectory_files(args.positional()[1]);
+  const std::map<std::string, std::string> cand_files =
+      trajectory_files(args.positional()[2]);
+  if (base_files.empty() || cand_files.empty()) {
+    std::cerr << "ftlbench compare: no trajectory files found\n";
+    return 2;
+  }
+
+  util::Table table({"bench", "metric", "n(base)", "n(cand)", "ratio",
+                     "ci-lo", "ci-hi", "verdict"});
+  table.set_precision(4);
+  bool any_regressed = false;
+  std::size_t pairs = 0;
+  for (const auto& [name, base_path] : base_files) {
+    const auto it = cand_files.find(name);
+    if (it == cand_files.end()) {
+      std::cerr << "note: " << name << " has no candidate counterpart\n";
+      continue;
+    }
+    const std::optional<Trajectory> base = load_trajectory(base_path);
+    const std::optional<Trajectory> cand = load_trajectory(it->second);
+    if (!base || !cand) {
+      std::cerr << "ftlbench compare: invalid trajectory in " << name << "\n";
+      return 2;
+    }
+    ++pairs;
+    const CompareReport report = compare_trajectories(*base, *cand, opts);
+    any_regressed = any_regressed || report.any_regressed();
+    for (const MetricComparison& row : report.rows) {
+      const char* verdict = row.n_baseline == 0 || row.n_candidate == 0
+                                ? "no-data"
+                            : row.regressed ? "REGRESSED"
+                            : row.improved  ? "improved"
+                                            : "ok";
+      table.add_row({row.bench, row.metric,
+                     static_cast<long long>(row.n_baseline),
+                     static_cast<long long>(row.n_candidate), row.ci.ratio,
+                     row.ci.lo, row.ci.hi, std::string(verdict)});
+    }
+  }
+  if (pairs == 0) {
+    std::cerr << "ftlbench compare: no common bench trajectories\n";
+    return 2;
+  }
+  table.print(std::cout);
+  if (any_regressed) {
+    std::cout << "\nREGRESSION: candidate exceeds " << opts.threshold
+              << "x baseline on at least one gated metric\n";
+    return 1;
+  }
+  std::cout << "\nno regression beyond " << opts.threshold << "x detected\n";
+  return 0;
+}
+
+int cmd_export(const util::Args& args) {
+  if (args.positional().size() != 2) {  // "export" + report path
+    std::cerr << "ftlbench export: need <run_report.json>\n";
+    return 2;
+  }
+  std::ifstream in(args.positional()[1]);
+  if (!in) {
+    std::cerr << "ftlbench export: cannot read " << args.positional()[1]
+              << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::optional<obs::ParsedRunReport> report =
+      obs::parse_run_report(buf.str());
+  if (!report) {
+    std::cerr << "ftlbench export: not a valid ftl.obs.run_report/v1 file\n";
+    return 2;
+  }
+  obs::ExportOptions opts;
+  opts.prefix = args.get("prefix", std::string("ftl_"));
+  std::cout << obs::prometheus_text(report->metrics, opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv, /*allow_unknown=*/true);
+  if (args.positional().empty()) return usage(std::cerr);
+  const std::string& cmd = args.positional()[0];
+  if (cmd == "run") return cmd_run(args);
+  if (cmd == "compare") return cmd_compare(args);
+  if (cmd == "export") return cmd_export(args);
+  std::cerr << "ftlbench: unknown command '" << cmd << "'\n";
+  return usage(std::cerr);
+}

@@ -1,0 +1,139 @@
+#include "ftlbench/trajectory.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace ftl::benchtool {
+
+std::optional<double> TrajectoryEntry::metric(std::string_view key) const {
+  if (key == "wall_time_s") return wall_time_s;
+  if (key == "cpu_time_s") return cpu_time_s;
+  for (const auto& [name, value] : counters)
+    if (name == key) return value;
+  return std::nullopt;
+}
+
+std::string trajectory_filename(std::string_view bench) {
+  std::string_view stem = bench;
+  if (stem.rfind("bench_", 0) == 0) stem.remove_prefix(6);
+  return "BENCH_" + std::string(stem) + ".json";
+}
+
+std::vector<std::pair<std::string, double>> collapse_counters(
+    const obs::Snapshot& snapshot) {
+  std::map<std::string, double> sums;
+  for (const obs::CounterSample& c : snapshot.counters)
+    sums[c.name] += static_cast<double>(c.value);
+  return {sums.begin(), sums.end()};
+}
+
+std::string trajectory_json(const Trajectory& t) {
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kTrajectorySchema);
+  w.key("bench");
+  w.value(t.bench);
+  w.key("entries");
+  w.begin_array();
+  for (const TrajectoryEntry& e : t.entries) {
+    w.begin_object();
+    w.key("git_rev");
+    w.value(e.git_rev);
+    w.key("utc");
+    w.value(e.utc);
+    w.key("seed");
+    w.value(e.seed);
+    w.key("wall_time_s");
+    w.value(e.wall_time_s);
+    w.key("cpu_time_s");
+    w.value(e.cpu_time_s);
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, value] : e.counters) {
+      w.key(name);
+      w.value(value);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::optional<Trajectory> parse_trajectory(std::string_view text) {
+  const std::optional<obs::json::Value> doc = obs::json::parse(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+
+  const obs::json::Value* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != kTrajectorySchema)
+    return std::nullopt;
+
+  Trajectory t;
+  const obs::json::Value* bench = doc->find("bench");
+  if (bench == nullptr || !bench->is_string()) return std::nullopt;
+  t.bench = bench->string;
+
+  const obs::json::Value* entries = doc->find("entries");
+  if (entries == nullptr || !entries->is_array()) return std::nullopt;
+  for (const obs::json::Value& v : entries->array) {
+    if (!v.is_object()) return std::nullopt;
+    TrajectoryEntry e;
+    const obs::json::Value* git_rev = v.find("git_rev");
+    const obs::json::Value* utc = v.find("utc");
+    const obs::json::Value* seed = v.find("seed");
+    const obs::json::Value* wall = v.find("wall_time_s");
+    const obs::json::Value* cpu = v.find("cpu_time_s");
+    const obs::json::Value* counters = v.find("counters");
+    if (git_rev == nullptr || !git_rev->is_string() || utc == nullptr ||
+        !utc->is_string() || seed == nullptr || !seed->is_number() ||
+        wall == nullptr || !wall->is_number() || cpu == nullptr ||
+        !cpu->is_number() || counters == nullptr || !counters->is_object())
+      return std::nullopt;
+    e.git_rev = git_rev->string;
+    e.utc = utc->string;
+    e.seed = static_cast<std::uint64_t>(seed->number);
+    e.wall_time_s = wall->number;
+    e.cpu_time_s = cpu->number;
+    for (const auto& [name, value] : counters->object) {
+      if (!value.is_number()) return std::nullopt;
+      e.counters.emplace_back(name, value.number);
+    }
+    t.entries.push_back(std::move(e));
+  }
+  return t;
+}
+
+std::optional<Trajectory> load_trajectory(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_trajectory(buf.str());
+}
+
+bool append_entry(const std::string& path, const std::string& bench,
+                  const TrajectoryEntry& entry) {
+  Trajectory t;
+  if (std::ifstream probe(path); probe) {
+    std::optional<Trajectory> existing = load_trajectory(path);
+    if (!existing || existing->bench != bench) return false;
+    t = std::move(*existing);
+  } else {
+    t.bench = bench;
+  }
+  t.entries.push_back(entry);
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << trajectory_json(t) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace ftl::benchtool
