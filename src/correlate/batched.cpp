@@ -1,0 +1,58 @@
+#include "correlate/batched.hpp"
+
+namespace ftl::correlate {
+
+OutcomeTable OutcomeTable::from_joint(const double joint[2][2][2][2]) {
+  OutcomeTable t;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      // Same accumulation order as the historical scan so the partial sums
+      // (and therefore every sampled outcome) are bit-identical.
+      double cum = 0.0;
+      int k = 0;
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          cum += joint[x][y][a][b];
+          if (k < 3) t.cum_[x][y][k++] = cum;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+OutcomeTable OutcomeTable::from_strategy(
+    const games::QuantumStrategy& strategy) {
+  double joint[2][2][2][2];
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+          joint[x][y][a][b] = strategy.joint_probability(
+              static_cast<std::size_t>(x), static_cast<std::size_t>(y), a, b);
+        }
+      }
+    }
+  }
+  return from_joint(joint);
+}
+
+void OutcomeTable::sample_rounds(const int* xs, const int* ys, int* as,
+                                 int* bs, std::size_t n,
+                                 util::Rng& rng) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [a, b] = outcome(xs[i], ys[i], rng.uniform());
+    as[i] = a;
+    bs[i] = b;
+  }
+}
+
+double OutcomeTable::probability(int x, int y, int a, int b) const {
+  const double* c = cum_[x][y];
+  const int idx = a * 2 + b;
+  const double hi = idx < 3 ? c[idx] : 1.0;
+  const double lo = idx > 0 ? c[idx - 1] : 0.0;
+  return hi - lo;
+}
+
+}  // namespace ftl::correlate

@@ -41,29 +41,15 @@ ChshSource::ChshSource(double visibility)
                                              /*flip_bob_output=*/true,
                                              visibility)) {
   FTL_ASSERT(visibility >= 0.0 && visibility <= 1.0);
-  for (std::size_t x = 0; x < 2; ++x) {
-    for (std::size_t y = 0; y < 2; ++y) {
-      for (int a = 0; a < 2; ++a) {
-        for (int b = 0; b < 2; ++b) {
-          joint_[x][y][a][b] = strategy_.joint_probability(x, y, a, b);
-        }
-      }
-    }
-  }
+  table_ = OutcomeTable::from_strategy(strategy_);
 }
 
 std::pair<int, int> ChshSource::decide(int x, int y, util::Rng& rng) {
   FTL_ASSERT((x == 0 || x == 1) && (y == 0 || y == 1));
-  // Inverse-CDF sample from the cached Born distribution.
-  const double u = rng.uniform();
-  double cum = 0.0;
-  for (int a = 0; a < 2; ++a) {
-    for (int b = 0; b < 2; ++b) {
-      cum += joint_[x][y][a][b];
-      if (u < cum) return {a, b};
-    }
-  }
-  return {1, 1};
+  // Inverse-CDF sample from the cached Born distribution; the table's
+  // branchless lookup maps the same uniform to the same outcome the old
+  // explicit scan did.
+  return table_.sample(x, y, rng);
 }
 
 std::string ChshSource::name() const {

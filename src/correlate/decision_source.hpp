@@ -16,6 +16,7 @@
 #include <string>
 #include <utility>
 
+#include "correlate/batched.hpp"
 #include "games/chsh.hpp"
 #include "util/rng.hpp"
 
@@ -85,13 +86,18 @@ class ChshSource final : public PairedDecisionSource {
     return strategy_;
   }
 
+  /// The precomputed outcome table decide() samples from (exposed so the
+  /// sharded engine and tests can batch-draw from the identical table).
+  [[nodiscard]] const OutcomeTable& table() const { return table_; }
+
  private:
   double visibility_;
   games::QuantumStrategy strategy_;
-  /// Born-rule joint distribution P(a,b | x,y), cached at construction so
-  /// the hot simulation path does not redo density-matrix algebra. Sampling
-  /// from this table is distribution-identical to measuring the state.
-  double joint_[2][2][2][2];
+  /// Born-rule joint distribution P(a,b | x,y) in cumulative form, cached
+  /// at construction so the hot simulation path does not redo
+  /// density-matrix algebra. Sampling from this table is
+  /// distribution-identical to measuring the state.
+  OutcomeTable table_;
 };
 
 /// A tunable classical mixture: with (shared-randomness) probability

@@ -1,0 +1,216 @@
+#include "lb/sharded_simulator.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "correlate/decision_source.hpp"
+#include "lb/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace ftl::lb {
+
+namespace {
+
+/// Everything one shard produces; written only by the thread that ran the
+/// shard, read only after the pool barrier. Queue lengths and delays are
+/// integers in this model, so the shards accumulate exact integer sums (a
+/// Welford update per server per step would put a division on the hot
+/// path); the means come out of one division at merge time.
+struct ShardOutput {
+  ShardedCounters counters;
+  unsigned long long queue_len_sum = 0;
+  unsigned long long delay_sum = 0;
+  std::vector<std::size_t> delay_counts;
+  std::size_t delay_underflow = 0;
+  std::size_t delay_overflow = 0;
+};
+
+/// One shard's full step loop. Mirrors run_lb_sim's structure *and* RNG
+/// consumption order exactly — master split(1)/(2) for arrivals/strategy,
+/// one arrival bernoulli per balancer per step, then per pair one
+/// distinct_pair plus one source decision (or per balancer one uniform_int
+/// for "random") — so a 1-shard run is bit-identical to the single-threaded
+/// reference engine. sharded_sim_test relies on this.
+void run_shard(const ShardedLbConfig& cfg, std::size_t shard,
+               correlate::PairedDecisionSource* source, ShardOutput& out) {
+  const sim::ShardRange balancers =
+      sim::shard_range(cfg.num_balancers, cfg.num_shards, shard);
+  const sim::ShardRange server_slice =
+      sim::shard_range(cfg.num_servers, cfg.num_shards, shard);
+  const std::size_t n_b = balancers.size();
+  const std::size_t n_s = server_slice.size();
+
+  util::Rng rng(sim::shard_seed(cfg.seed, shard));
+  util::Rng arrivals_rng = rng.split(1);
+  util::Rng strategy_rng = rng.split(2);
+
+  ServerArray servers(n_s);
+  std::vector<TaskType> types(n_b);
+  std::vector<std::uint32_t> targets(n_b);
+  util::Histogram delay_hist(0.0, cfg.delay_hist_max, cfg.delay_hist_bins);
+
+  const bool paired = cfg.source != "random";
+  const long total_steps = cfg.warmup_steps + cfg.measure_steps;
+  for (long step = 0; step < total_steps; ++step) {
+    const bool measuring = step >= cfg.warmup_steps;
+
+    // 1. Arrivals: one type draw per balancer (the paper's deterministic
+    // one-request-per-step model).
+    for (auto& t : types) {
+      t = arrivals_rng.bernoulli(cfg.p_colocate) ? TaskType::kC : TaskType::kE;
+    }
+
+    // 2. Routing: all decisions are made before any request lands, as in
+    // the reference engine (simultaneous, communication-free balancers).
+    if (paired) {
+      for (std::size_t p = 0; p + 1 < n_b; p += 2) {
+        const auto [s0, s1] = strategy_rng.distinct_pair(n_s);
+        const int x = types[p] == TaskType::kC ? 1 : 0;
+        const int y = types[p + 1] == TaskType::kC ? 1 : 0;
+        const auto [a, b] = source->decide(x, y, strategy_rng);
+        // Flipped-CHSH win condition: a XOR b == NOT(x AND y).
+        const bool won = ((a ^ b) != 0) == !(x == 1 && y == 1);
+        if (measuring) ++(won ? out.counters.rounds_won
+                              : out.counters.rounds_lost);
+        targets[p] = static_cast<std::uint32_t>(a == 0 ? s0 : s1);
+        targets[p + 1] = static_cast<std::uint32_t>(b == 0 ? s0 : s1);
+      }
+    } else {
+      for (std::size_t b = 0; b < n_b; ++b) {
+        targets[b] = static_cast<std::uint32_t>(strategy_rng.uniform_int(n_s));
+      }
+    }
+
+    for (std::size_t b = 0; b < n_b; ++b) {
+      servers.enqueue(targets[b], types[b], static_cast<std::uint32_t>(b),
+                      static_cast<std::int32_t>(step));
+      if (measuring) ++out.counters.arrived;
+    }
+
+    // 3. Service.
+    Request served[2];
+    for (std::size_t s = 0; s < n_s; ++s) {
+      const std::size_t n = servers.step(s, cfg.policy, served);
+      if (measuring) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (served[i].arrival_step < cfg.warmup_steps) continue;
+          ++out.counters.served;
+          const long d = step - served[i].arrival_step;
+          out.delay_sum += static_cast<unsigned long long>(d);
+          delay_hist.add(static_cast<double>(d));
+        }
+        out.queue_len_sum += servers.queue_length(s);
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < n_s; ++s) {
+    servers.for_each_queued(s, [&](TaskType, const ServerArray::Slot& slot) {
+      if (slot.arrival_step >= cfg.warmup_steps) ++out.counters.still_queued;
+    });
+  }
+  out.delay_counts = delay_hist.counts();
+  out.delay_underflow = delay_hist.underflow();
+  out.delay_overflow = delay_hist.overflow();
+}
+
+}  // namespace
+
+ShardedLbResult run_sharded_lb_sim(const ShardedLbConfig& cfg,
+                                   sim::ShardPool* pool) {
+  FTL_ASSERT(cfg.num_shards >= 1);
+  FTL_ASSERT(cfg.p_colocate >= 0.0 && cfg.p_colocate <= 1.0);
+  FTL_ASSERT(cfg.warmup_steps >= 0 && cfg.measure_steps > 0);
+  FTL_ASSERT(cfg.delay_hist_bins >= 1 && cfg.delay_hist_max > 0.0);
+  const bool paired = cfg.source != "random";
+  for (std::size_t shard = 0; shard < cfg.num_shards; ++shard) {
+    const auto b = sim::shard_range(cfg.num_balancers, cfg.num_shards, shard);
+    const auto s = sim::shard_range(cfg.num_servers, cfg.num_shards, shard);
+    FTL_ASSERT_MSG(b.size() >= 1 && s.size() >= 2,
+                   "every shard needs >= 1 balancer and >= 2 servers");
+    FTL_ASSERT_MSG(!paired || b.size() % 2 == 0,
+                   "paired sources need an even balancer count per shard");
+  }
+
+  const obs::ScopedSpan span("lb.run_sharded_lb_sim", "lb");
+
+  // Per-shard decision sources, created up front in shard order (the
+  // density-matrix work in ChshSource happens once per shard, not per
+  // round — the rounds sample its precomputed outcome table).
+  std::vector<std::unique_ptr<correlate::PairedDecisionSource>> sources(
+      cfg.num_shards);
+  if (paired) {
+    for (auto& s : sources) s = correlate::make_source(cfg.source,
+                                                       cfg.visibility);
+  }
+
+  std::vector<ShardOutput> outputs(cfg.num_shards);
+  const auto job = [&](std::size_t shard) {
+    run_shard(cfg, shard, sources[shard].get(), outputs[shard]);
+  };
+  if (pool != nullptr) {
+    pool->parallel_shards(cfg.num_shards, job);
+  } else {
+    sim::ShardPool inline_pool(1);
+    inline_pool.parallel_shards(cfg.num_shards, job);
+  }
+
+  // Shard-ordered merge: integer counters and sums exactly, histogram bins
+  // pairwise. All-integer accumulation means the totals — and the means
+  // derived from them — are bit-identical no matter how the pool scheduled
+  // the shards.
+  ShardedLbResult out;
+  out.per_shard.reserve(cfg.num_shards);
+  unsigned long long queue_len_sum = 0;
+  unsigned long long delay_sum = 0;
+  std::vector<std::size_t> delay_counts(cfg.delay_hist_bins, 0);
+  std::size_t delay_underflow = 0;
+  std::size_t delay_overflow = 0;
+  for (const ShardOutput& o : outputs) {
+    out.per_shard.push_back(o.counters);
+    out.counters += o.counters;
+    queue_len_sum += o.queue_len_sum;
+    delay_sum += o.delay_sum;
+    for (std::size_t i = 0; i < delay_counts.size(); ++i) {
+      delay_counts[i] += o.delay_counts[i];
+    }
+    delay_underflow += o.delay_underflow;
+    delay_overflow += o.delay_overflow;
+  }
+  const double queue_samples = static_cast<double>(cfg.measure_steps) *
+                               static_cast<double>(cfg.num_servers);
+  out.mean_queue_length = static_cast<double>(queue_len_sum) / queue_samples;
+  out.mean_delay = out.counters.served == 0
+                       ? 0.0
+                       : static_cast<double>(delay_sum) /
+                             static_cast<double>(out.counters.served);
+  out.delay_hist =
+      util::Histogram::from_counts(0.0, cfg.delay_hist_max,
+                                   std::move(delay_counts), delay_underflow,
+                                   delay_overflow);
+  out.p95_delay =
+      out.delay_hist.total() == 0 ? 0.0 : out.delay_hist.quantile(0.95);
+  out.throughput = static_cast<double>(out.counters.served) /
+                   (static_cast<double>(cfg.measure_steps) *
+                    static_cast<double>(cfg.num_servers));
+
+  // Merge into the lock-free registry (one labeled inc per total, off the
+  // hot path).
+  const obs::Labels label{{"source", cfg.source}};
+  obs::Registry& reg = obs::registry();
+  reg.counter("lb.sharded.requests.arrived", label)
+      .inc(static_cast<std::uint64_t>(out.counters.arrived));
+  reg.counter("lb.sharded.requests.served", label)
+      .inc(static_cast<std::uint64_t>(out.counters.served));
+  reg.counter("lb.sharded.rounds_won", label)
+      .inc(static_cast<std::uint64_t>(out.counters.rounds_won));
+  reg.counter("lb.sharded.rounds_lost", label)
+      .inc(static_cast<std::uint64_t>(out.counters.rounds_lost));
+  reg.gauge("lb.sharded.shards", label)
+      .set(static_cast<double>(cfg.num_shards));
+  return out;
+}
+
+}  // namespace ftl::lb

@@ -37,7 +37,7 @@ LbResult run_lb_sim(const LbConfig& cfg, LbStrategy& strategy) {
   util::Rng strategy_rng = rng.split(2);
   util::Rng burst_rng = rng.split(3);
 
-  std::vector<Server> servers(cfg.num_servers);
+  ServerArray servers(cfg.num_servers);
   std::vector<std::vector<TaskType>> types(
       cfg.num_balancers, std::vector<TaskType>(cfg.batch_size));
   bool burst_high = true;
@@ -78,7 +78,7 @@ LbResult run_lb_sim(const LbConfig& cfg, LbStrategy& strategy) {
     // 2. Routing decisions (made simultaneously and without communication;
     //    the strategy object enforces its own information discipline).
     for (std::size_t s = 0; s < servers.size(); ++s) {
-      queue_snapshot[s] = servers[s].queue_length();
+      queue_snapshot[s] = servers.queue_length(s);
     }
     ClusterView view{cfg.num_servers, &queue_snapshot};
     strategy.assign(types, targets, view, strategy_rng);
@@ -86,7 +86,9 @@ LbResult run_lb_sim(const LbConfig& cfg, LbStrategy& strategy) {
     for (std::size_t b = 0; b < cfg.num_balancers; ++b) {
       for (std::size_t k = 0; k < types[b].size(); ++k) {
         FTL_ASSERT(targets[b][k] < cfg.num_servers);
-        servers[targets[b][k]].enqueue(Request{types[b][k], b, step});
+        servers.enqueue(targets[b][k], types[b][k],
+                        static_cast<std::uint32_t>(b),
+                        static_cast<std::int32_t>(step));
         if (measuring) {
           ++arrived;
           m_arrived.inc();
@@ -95,8 +97,11 @@ LbResult run_lb_sim(const LbConfig& cfg, LbStrategy& strategy) {
     }
 
     // 3. Service.
-    for (Server& server : servers) {
-      for (const Request& r : server.step(cfg.policy)) {
+    Request batch_out[2];
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      const std::size_t n = servers.step(s, cfg.policy, batch_out);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Request& r = batch_out[i];
         if (r.arrival_step >= cfg.warmup_steps && measuring) {
           ++served;
           m_served.inc();
@@ -108,7 +113,7 @@ LbResult run_lb_sim(const LbConfig& cfg, LbStrategy& strategy) {
         }
       }
       if (measuring) {
-        const auto depth = static_cast<double>(server.queue_length());
+        const auto depth = static_cast<double>(servers.queue_length(s));
         queue_len_acc.add(depth);
         m_queue_depth.observe(depth);
         m_queue_hw.update_max(depth);
@@ -129,10 +134,10 @@ LbResult run_lb_sim(const LbConfig& cfg, LbStrategy& strategy) {
   out.arrived = arrived;
   out.served = served;
   long long queued = 0;
-  for (const Server& s : servers) {
-    for (const Request& r : s.queue()) {
-      if (r.arrival_step >= cfg.warmup_steps) ++queued;
-    }
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    servers.for_each_queued(s, [&](TaskType, const ServerArray::Slot& slot) {
+      if (slot.arrival_step >= cfg.warmup_steps) ++queued;
+    });
   }
   out.still_queued = queued;
   return out;

@@ -1,0 +1,32 @@
+#include "qnet/batched_rounds.hpp"
+
+#include "games/chsh.hpp"
+#include "qnet/decoherence.hpp"
+
+namespace ftl::qnet {
+
+correlate::OutcomeTable outcome_table_after_storage(double v0,
+                                                    double storage_a_s,
+                                                    double storage_b_s,
+                                                    double t1_s, double t2_s) {
+  const games::QuantumStrategy strategy = games::chsh_strategy_with_state(
+      pair_state_after_storage(v0, storage_a_s, storage_b_s, t1_s, t2_s),
+      games::chsh_optimal_angles(), /*flip_bob_output=*/true);
+  return correlate::OutcomeTable::from_strategy(strategy);
+}
+
+BatchedRounds play_flipped_chsh_rounds(const correlate::OutcomeTable& table,
+                                       std::uint64_t rounds, util::Rng& rng) {
+  BatchedRounds out;
+  out.rounds = rounds;
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    const int x = rng.bernoulli(0.5) ? 1 : 0;
+    const int y = rng.bernoulli(0.5) ? 1 : 0;
+    const auto [a, b] = table.sample(x, y, rng);
+    const int target = (x == 1 && y == 1) ? 0 : 1;
+    out.wins += static_cast<std::uint64_t>((a ^ b) == target);
+  }
+  return out;
+}
+
+}  // namespace ftl::qnet

@@ -1,0 +1,42 @@
+// Batched CHSH rounds on stored (decohered) pairs.
+//
+// The Fig-2/Fig-4 pipeline plays the flipped CHSH game over pairs that sat
+// in QNIC memory before use. Re-deriving the post-storage density matrix
+// per round is wasted work: the storage profile fixes one two-qubit state,
+// so we collapse it into a correlate::OutcomeTable once and then sample
+// rounds at table speed. A million rounds costs one density-matrix solve
+// plus a million uniform draws.
+#pragma once
+
+#include <cstdint>
+
+#include "correlate/batched.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::qnet {
+
+/// Outcome table of the Tsirelson-angle flipped-CHSH strategy measured on
+/// the post-storage state of a visibility-v0 Werner pair whose halves sat
+/// in memory (T1/T2) for storage_a_s and storage_b_s seconds. This is the
+/// only density-matrix work in the batched path.
+[[nodiscard]] correlate::OutcomeTable outcome_table_after_storage(
+    double v0, double storage_a_s, double storage_b_s, double t1_s,
+    double t2_s);
+
+struct BatchedRounds {
+  std::uint64_t rounds = 0;
+  std::uint64_t wins = 0;
+
+  [[nodiscard]] double win_fraction() const {
+    return rounds == 0 ? 0.0
+                       : static_cast<double>(wins) / static_cast<double>(rounds);
+  }
+};
+
+/// Plays `rounds` flipped-CHSH rounds (uniform inputs, win condition
+/// a XOR b = NOT(x AND y)) by sampling the table. Consumes 2 uniform input
+/// draws + 1 outcome draw per round, all from `rng`.
+[[nodiscard]] BatchedRounds play_flipped_chsh_rounds(
+    const correlate::OutcomeTable& table, std::uint64_t rounds, util::Rng& rng);
+
+}  // namespace ftl::qnet

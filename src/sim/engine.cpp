@@ -26,6 +26,7 @@ EventId Engine::schedule_at(Time at, std::function<void()> fn) {
   FTL_ASSERT_MSG(at >= now_, "cannot schedule events in the past");
   const EventId id = next_id_++;
   queue_.push(Item{at, id, std::move(fn)});
+  pending_ids_.insert(id);
   EngineMetrics& m = metrics();
   m.scheduled.inc();
   m.high_water.update_max(static_cast<double>(queue_.size()));
@@ -36,6 +37,7 @@ bool Engine::step() {
   while (!queue_.empty()) {
     Item item = queue_.top();
     queue_.pop();
+    pending_ids_.erase(item.id);
     if (cancelled_.erase(item.id) > 0) {
       metrics().cancelled.inc();
       continue;

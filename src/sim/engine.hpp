@@ -34,9 +34,12 @@ class Engine {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  /// Cancels a pending event; cancelling an already-fired or unknown id is
-  /// a no-op (the usual DES contract).
-  void cancel(EventId id) { cancelled_.insert(id); }
+  /// Cancels a pending event; cancelling an already-fired, already-cancelled,
+  /// or unknown id is a no-op (the usual DES contract). Only ids that are
+  /// actually pending are recorded, so stale cancels cannot accumulate.
+  void cancel(EventId id) {
+    if (pending_ids_.count(id) > 0) cancelled_.insert(id);
+  }
 
   /// Runs the next pending event; returns false if none remain.
   bool step();
@@ -48,8 +51,11 @@ class Engine {
   /// Runs until the event queue is empty.
   void run();
 
+  /// Events that will still fire: scheduled, not yet popped, not cancelled.
+  /// Exact — cancelled-but-unpopped events are excluded (every member of
+  /// `cancelled_` is still in the queue, so the subtraction never skews).
   [[nodiscard]] std::size_t pending() const {
-    return queue_.size();  // includes cancelled-but-unpopped events
+    return queue_.size() - cancelled_.size();
   }
 
  private:
@@ -68,6 +74,10 @@ class Engine {
   Time now_ = 0.0;
   EventId next_id_ = 1;
   std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  /// Ids currently in the queue; kept so cancel() can reject ids that
+  /// already fired (which would otherwise leak into cancelled_ forever).
+  std::unordered_set<EventId> pending_ids_;
+  /// Cancelled-but-unpopped ids — always a subset of pending_ids_.
   std::unordered_set<EventId> cancelled_;
 };
 

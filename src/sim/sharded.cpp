@@ -1,0 +1,95 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ftl::sim {
+
+ShardRange shard_range(std::size_t total, std::size_t num_shards,
+                       std::size_t shard) {
+  FTL_ASSERT(num_shards >= 1 && shard < num_shards);
+  const std::size_t base = total / num_shards;
+  const std::size_t extra = total % num_shards;
+  const std::size_t begin = shard * base + std::min(shard, extra);
+  return ShardRange{begin, begin + base + (shard < extra ? 1 : 0)};
+}
+
+ShardPool::ShardPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  threads_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardPool::claim_shards(const std::function<void(std::size_t)>& fn,
+                             std::size_t num_shards) {
+  for (;;) {
+    const std::size_t shard =
+        next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= num_shards) return;
+    fn(shard);
+  }
+}
+
+void ShardPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t shards = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = job_;
+      shards = job_shards_;
+    }
+    claim_shards(*job, shards);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--busy_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ShardPool::parallel_shards(std::size_t num_shards,
+                                const std::function<void(std::size_t)>& fn) {
+  if (num_shards == 0) return;
+  if (threads_.empty() || num_shards == 1) {
+    for (std::size_t shard = 0; shard < num_shards; ++shard) fn(shard);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    FTL_ASSERT_MSG(busy_workers_ == 0,
+                   "parallel_shards is not re-entrant");
+    job_ = &fn;
+    job_shards_ = num_shards;
+    next_shard_.store(0, std::memory_order_relaxed);
+    busy_workers_ = threads_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  claim_shards(fn, num_shards);  // the caller is a worker too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace ftl::sim

@@ -1,0 +1,286 @@
+// Property suite: batched measurement-table CHSH sampling is equivalent to
+// per-round density-matrix sampling.
+//
+// The sharded Fig-4 engine draws CHSH outcomes from a precomputed
+// correlate::OutcomeTable instead of re-deriving Born-rule probabilities
+// per round. These properties pin the equivalence at three levels over
+// randomly generated strategies (visibility, storage decoherence):
+//   * exact distributions — the table's P(a,b|x,y) equals the strategy's
+//     joint_probability entry for entry;
+//   * exact sampling — the table maps every uniform draw to the same
+//     outcome as the historical inverse-CDF scan, bit for bit, and a batch
+//     consumes the RNG stream exactly like sequential single draws;
+//   * statistical — chi-square on empirical draws against the Born
+//     distribution, and storage-decohered tables reproduce the closed-form
+//     post-storage win probability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "correlate/batched.hpp"
+#include "correlate/decision_source.hpp"
+#include "games/chsh.hpp"
+#include "qnet/batched_rounds.hpp"
+#include "qnet/decoherence.hpp"
+#include "util/proptest.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ftl {
+namespace {
+
+using proptest::CaseResult;
+
+/// The historical per-round sampler: lexicographic inverse-CDF scan over
+/// the strategy's Born-rule joint distribution (what ChshSource::decide did
+/// before the table). Kept here as the reference implementation.
+std::pair<int, int> legacy_scan(const games::QuantumStrategy& strategy, int x,
+                                int y, double u) {
+  double cum = 0.0;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      cum += strategy.joint_probability(static_cast<std::size_t>(x),
+                                        static_cast<std::size_t>(y), a, b);
+      if (u < cum) return {a, b};
+    }
+  }
+  return {1, 1};
+}
+
+games::QuantumStrategy strategy_for(double visibility) {
+  return games::chsh_quantum_strategy(games::chsh_optimal_angles(),
+                                      /*flip_bob_output=*/true, visibility);
+}
+
+TEST(PropBatchedSampling, TableMatchesBornDistributionExactly) {
+  const auto r = proptest::for_all(
+      {.name = "table-matches-born", .cases = 60},
+      [](util::Rng& rng) { return rng.uniform(); },
+      [](const double& visibility) -> CaseResult {
+        const games::QuantumStrategy strategy = strategy_for(visibility);
+        const auto table = correlate::OutcomeTable::from_strategy(strategy);
+        for (int x = 0; x < 2; ++x) {
+          for (int y = 0; y < 2; ++y) {
+            double total = 0.0;
+            for (int a = 0; a < 2; ++a) {
+              for (int b = 0; b < 2; ++b) {
+                const double want = strategy.joint_probability(
+                    static_cast<std::size_t>(x), static_cast<std::size_t>(y),
+                    a, b);
+                const double got = table.probability(x, y, a, b);
+                total += got;
+                if (std::abs(want - got) > 1e-9) {
+                  std::ostringstream msg;
+                  msg << "P(" << a << b << "|" << x << y << ") table " << got
+                      << " vs born " << want << " at v=" << visibility;
+                  return CaseResult::fail(msg.str());
+                }
+              }
+            }
+            if (std::abs(total - 1.0) > 1e-9) {
+              return CaseResult::fail("table not normalised");
+            }
+          }
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropBatchedSampling, TableOutcomeMatchesLegacyScanBitForBit) {
+  const auto r = proptest::for_all(
+      {.name = "table-vs-legacy-scan", .cases = 60},
+      [](util::Rng& rng) { return rng.uniform(); },
+      [](const double& visibility) -> CaseResult {
+        const games::QuantumStrategy strategy = strategy_for(visibility);
+        const auto table = correlate::OutcomeTable::from_strategy(strategy);
+        util::Rng u_rng(0xab5edULL ^
+                        static_cast<std::uint64_t>(visibility * 1e9));
+        for (int x = 0; x < 2; ++x) {
+          for (int y = 0; y < 2; ++y) {
+            for (int i = 0; i < 256; ++i) {
+              const double u = u_rng.uniform();
+              const auto got = table.outcome(x, y, u);
+              const auto want = legacy_scan(strategy, x, y, u);
+              if (got != want) {
+                std::ostringstream msg;
+                msg << "u=" << u << " xy=" << x << y << " table=("
+                    << got.first << "," << got.second << ") scan=("
+                    << want.first << "," << want.second << ")";
+                return CaseResult::fail(msg.str());
+              }
+            }
+          }
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropBatchedSampling, DecideDelegatesToTable) {
+  // ChshSource::decide and its exposed table consume one uniform per round
+  // and agree outcome for outcome when driven by identical streams.
+  const auto r = proptest::for_all(
+      {.name = "decide-delegates", .cases = 40},
+      [](util::Rng& rng) { return rng.uniform(); },
+      [](const double& visibility) -> CaseResult {
+        correlate::ChshSource source(visibility);
+        util::Rng rng_a(7);
+        util::Rng rng_b(7);
+        for (int i = 0; i < 200; ++i) {
+          const int x = i & 1;
+          const int y = (i >> 1) & 1;
+          const auto via_decide = source.decide(x, y, rng_a);
+          const auto via_table = source.table().sample(x, y, rng_b);
+          if (via_decide != via_table) {
+            return CaseResult::fail("decide and table diverged");
+          }
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropBatchedSampling, BatchConsumesStreamLikeSequentialDraws) {
+  const auto r = proptest::for_all(
+      {.name = "batch-vs-sequential", .cases = 40},
+      [](util::Rng& rng) {
+        struct Input {
+          double visibility;
+          std::uint64_t seed;
+        };
+        return Input{rng.uniform(), rng.next_u64()};
+      },
+      [](const auto& input) -> CaseResult {
+        const auto table = correlate::OutcomeTable::from_strategy(
+            strategy_for(input.visibility));
+        constexpr std::size_t kRounds = 257;
+        std::vector<int> xs(kRounds), ys(kRounds);
+        util::Rng input_rng(input.seed);
+        for (std::size_t i = 0; i < kRounds; ++i) {
+          xs[i] = input_rng.bernoulli(0.5) ? 1 : 0;
+          ys[i] = input_rng.bernoulli(0.5) ? 1 : 0;
+        }
+        std::vector<int> as(kRounds), bs(kRounds);
+        util::Rng batch_rng(input.seed + 1);
+        table.sample_rounds(xs.data(), ys.data(), as.data(), bs.data(),
+                            kRounds, batch_rng);
+        util::Rng seq_rng(input.seed + 1);
+        for (std::size_t i = 0; i < kRounds; ++i) {
+          const auto [a, b] = table.sample(xs[i], ys[i], seq_rng);
+          if (a != as[i] || b != bs[i]) {
+            return CaseResult::fail("batch diverged from sequential at " +
+                                    std::to_string(i));
+          }
+        }
+        // Post-call stream states must match too.
+        if (batch_rng.next_u64() != seq_rng.next_u64()) {
+          return CaseResult::fail("stream state diverged after batch");
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropBatchedSampling, ChiSquareAgainstBornDistribution) {
+  const auto r = proptest::for_all(
+      {.name = "chi-square-draws", .cases = 24},
+      [](util::Rng& rng) {
+        struct Input {
+          double visibility;
+          std::uint64_t seed;
+        };
+        // Visibility bounded away from edge cases where an outcome's
+        // probability could underflow an expected count of ~1.
+        return Input{0.3 + 0.7 * rng.uniform(), rng.next_u64()};
+      },
+      [](const auto& input) -> CaseResult {
+        const games::QuantumStrategy strategy =
+            strategy_for(input.visibility);
+        const auto table = correlate::OutcomeTable::from_strategy(strategy);
+        util::Rng rng(input.seed);
+        constexpr std::size_t kDraws = 8000;
+        for (int x = 0; x < 2; ++x) {
+          for (int y = 0; y < 2; ++y) {
+            std::vector<int> xs(kDraws, x), ys(kDraws, y);
+            std::vector<int> as(kDraws), bs(kDraws);
+            table.sample_rounds(xs.data(), ys.data(), as.data(), bs.data(),
+                                kDraws, rng);
+            double counts[4] = {0, 0, 0, 0};
+            for (std::size_t i = 0; i < kDraws; ++i) {
+              counts[as[i] * 2 + bs[i]] += 1.0;
+            }
+            double chi2 = 0.0;
+            for (int a = 0; a < 2; ++a) {
+              for (int b = 0; b < 2; ++b) {
+                const double expected =
+                    static_cast<double>(kDraws) *
+                    strategy.joint_probability(static_cast<std::size_t>(x),
+                                               static_cast<std::size_t>(y), a,
+                                               b);
+                const double diff = counts[a * 2 + b] - expected;
+                chi2 += diff * diff / expected;
+              }
+            }
+            // df = 3; 30.66 is the p ~ 1e-6 critical value. The seeds are
+            // fixed, so a failure is a real distribution bug, not noise.
+            if (chi2 > 30.66) {
+              std::ostringstream msg;
+              msg << "chi2=" << chi2 << " for xy=" << x << y
+                  << " v=" << input.visibility;
+              return CaseResult::fail(msg.str());
+            }
+          }
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropBatchedSampling, StorageTableReproducesClosedFormWinRate) {
+  const auto r = proptest::for_all(
+      {.name = "storage-table-win-rate", .cases = 16},
+      [](util::Rng& rng) {
+        struct Input {
+          double v0;
+          double storage_a;
+          double storage_b;
+          std::uint64_t seed;
+        };
+        return Input{0.6 + 0.4 * rng.uniform(), rng.uniform(0.0, 2e-3),
+                     rng.uniform(0.0, 2e-3), rng.next_u64()};
+      },
+      [](const auto& input) -> CaseResult {
+        constexpr double kT1 = 5e-3;
+        constexpr double kT2 = 3e-3;
+        const auto table = qnet::outcome_table_after_storage(
+            input.v0, input.storage_a, input.storage_b, kT1, kT2);
+        const double closed_form = qnet::chsh_win_after_storage(
+            input.v0, input.storage_a, input.storage_b, kT1, kT2);
+        util::Rng rng(input.seed);
+        constexpr std::uint64_t kRounds = 20000;
+        const qnet::BatchedRounds played =
+            qnet::play_flipped_chsh_rounds(table, kRounds, rng);
+        if (played.rounds != kRounds) {
+          return CaseResult::fail("round count mismatch");
+        }
+        const double tol =
+            4.0 * util::wilson_halfwidth(
+                      static_cast<std::size_t>(played.wins),
+                      static_cast<std::size_t>(played.rounds));
+        if (std::abs(played.win_fraction() - closed_form) > tol) {
+          std::ostringstream msg;
+          msg << "win fraction " << played.win_fraction()
+              << " vs closed form " << closed_form << " (tol " << tol << ")";
+          return CaseResult::fail(msg.str());
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace
+}  // namespace ftl

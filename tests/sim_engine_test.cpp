@@ -108,6 +108,51 @@ TEST(Engine, RejectsSchedulingInThePast) {
   EXPECT_DEATH(e.schedule_at(1.0, [] {}), "past");
 }
 
+TEST(Engine, PendingIsExact) {
+  // Regression: pending() used to count cancelled-but-unpopped events.
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  const EventId c = e.schedule_at(3.0, [] {});
+  EXPECT_EQ(e.pending(), 3u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(c);
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_TRUE(e.step());  // fires the 2.0 event, skipping cancelled a
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, CancelOfFiredIdDoesNotLeak) {
+  // Regression: cancelling an id that already fired used to park it in the
+  // cancelled set forever, skewing pending() for the rest of the run.
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.run();
+  e.cancel(a);  // stale: a already fired
+  EXPECT_EQ(e.pending(), 0u);
+  bool fired = false;
+  const EventId b = e.schedule_at(2.0, [&] { fired = true; });
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(e.pending(), 0u);
+  e.cancel(b);  // stale again, after a full run
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, DoubleCancelCountsOnce) {
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  e.cancel(a);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+}
+
 TEST(Engine, EventAtCurrentTimeAllowed) {
   Engine e;
   int fired = 0;
