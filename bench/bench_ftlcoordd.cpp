@@ -1,0 +1,176 @@
+// The coordination service under load: LiveBroker stepped-mode decision
+// throughput (deterministic counters, CI-gated) and the full ftlcoordd
+// socket path driven by the in-process loadgen (throughput + latency
+// percentiles; timing-dependent, recorded but not gated).
+//
+// The workload runs in main() after RunSpecifiedBenchmarks, mirroring the
+// other benches: the CI trajectory job invokes every bench with
+// --benchmark_filter=NONE, so the counters that feed BENCH_ftlcoordd.json
+// must accumulate outside the google-benchmark bodies. The gbench wrappers
+// exist for interactive wall-time runs only.
+//
+// The qnet.live.requests counter in the run report is deterministic in
+// (seed, config): the stepped stage issues a fixed request schedule and
+// the socket stage a fixed decision count (admission is configured so no
+// batch is ever rejected), so the bench-regression job can gate it at a
+// tight threshold even though hit/fallback splits on the socket path vary
+// with thread interleaving.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "ftlcoordd/daemon.hpp"
+#include "ftlcoordd/loadgen.hpp"
+#include "qnet/live_broker.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ftl;
+
+std::uint64_t g_seed = 42;
+constexpr std::size_t kSteppedRequests = 200000;
+constexpr std::uint64_t kSocketDecisions = 500000;
+
+qnet::LiveBrokerConfig broker_config(std::size_t sources) {
+  qnet::LiveBrokerConfig cfg;
+  cfg.sources = sources;
+  cfg.qnet.pair_rate_hz = 2e6;
+  cfg.qnet.fiber_km = 0.0;
+  return cfg;
+}
+
+struct SteppedResult {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t rounds_won = 0;
+  double wall_s = 0.0;
+};
+
+// Stepped-mode broker throughput: a fixed virtual-time request schedule
+// against one source. Every qnet.live.* counter this touches is a pure
+// function of (seed, config, schedule).
+SteppedResult run_stepped(std::size_t requests) {
+  qnet::LiveBroker broker(broker_config(1), g_seed);
+  const double request_rate_hz = 1e6;
+  SteppedResult out;
+  out.requests = requests;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    const double t = static_cast<double>(i) / request_rate_hz;
+    const auto d = broker.decide(0, static_cast<std::uint8_t>(i & 1u), t);
+    out.hits += d.quantum ? 1 : 0;
+    out.rounds_won += d.round_won ? 1 : 0;
+  }
+  out.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+// The real thing: daemon on ephemeral loopback ports, loadgen workers
+// batching decide frames over TCP. decisions/s here is the headline number
+// the acceptance bar (>= 1M decisions/s) refers to.
+coordd::LoadgenResult run_socket(std::uint64_t decisions) {
+  coordd::DaemonConfig cfg;
+  cfg.seed = g_seed;
+  cfg.broker = broker_config(2);
+  coordd::Daemon daemon(cfg);
+  if (!daemon.start()) {
+    coordd::LoadgenResult failed;
+    failed.error = "failed to bind loopback ports";
+    return failed;
+  }
+  coordd::LoadgenConfig lg;
+  lg.port = daemon.port();
+  lg.threads = 2;
+  lg.sources = 2;
+  lg.decisions = decisions;
+  std::ostringstream sink;
+  coordd::LoadgenResult result = coordd::run_loadgen(lg, sink);
+  daemon.stop();
+  return result;
+}
+
+void BM_LiveBrokerSteppedDecide(benchmark::State& state) {
+  SteppedResult r;
+  for (auto _ : state) {
+    r = run_stepped(static_cast<std::size_t>(state.range(0)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(r.requests) *
+                          state.iterations());
+  state.counters["hit_fraction"] =
+      static_cast<double>(r.hits) / static_cast<double>(r.requests);
+}
+BENCHMARK(BM_LiveBrokerSteppedDecide)
+    ->Arg(kSteppedRequests)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_FtlcoorddSocketDecide(benchmark::State& state) {
+  coordd::LoadgenResult result;
+  for (auto _ : state) {
+    result = run_socket(static_cast<std::uint64_t>(state.range(0)));
+    if (!result.ok) {
+      state.SkipWithError(result.error.c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(result.decisions_ok * state.iterations()));
+  state.counters["decisions_per_s"] = result.achieved_rate_hz();
+  state.counters["hit_fraction"] = result.hit_fraction();
+  state.counters["batch_rtt_p99_us"] = result.latency.quantile(0.99) * 1e6;
+}
+BENCHMARK(BM_FtlcoorddSocketDecide)
+    ->Arg(500000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ftl::bench::Options obs_opts =
+      ftl::bench::parse_args(argc, argv, g_seed);
+  g_seed = obs_opts.seed;
+  ftl::bench::ObsSession obs_session("bench_ftlcoordd", obs_opts);
+  obs_session.set_config("stepped=200000 socket=500000 sources=2");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Counter-bearing workload for the trajectory run report (runs with any
+  // --benchmark_filter, including NONE).
+  const SteppedResult stepped = run_stepped(kSteppedRequests);
+  const coordd::LoadgenResult socket = run_socket(kSocketDecisions);
+  if (!socket.ok) {
+    std::cerr << "bench_ftlcoordd: socket stage FAILED: " << socket.error
+              << "\n";
+    return 1;
+  }
+
+  std::cout << "\nftlcoordd coordination service under load (seed " << g_seed
+            << "):\n";
+  util::Table t({"stage", "decisions", "decisions/s", "hit fraction",
+                 "win fraction"});
+  t.add_row({"stepped broker", static_cast<double>(stepped.requests),
+             static_cast<double>(stepped.requests) / stepped.wall_s,
+             static_cast<double>(stepped.hits) /
+                 static_cast<double>(stepped.requests),
+             static_cast<double>(stepped.rounds_won) /
+                 static_cast<double>(stepped.requests)});
+  t.add_row({"socket loadgen", static_cast<double>(socket.decisions_ok),
+             socket.achieved_rate_hz(), socket.hit_fraction(),
+             socket.decisions_ok > 0
+                 ? static_cast<double>(socket.rounds_won) /
+                       static_cast<double>(socket.decisions_ok)
+                 : 0.0});
+  t.print(std::cout);
+  std::cout << "socket batch RTT p50/p95/p99 us: "
+            << socket.latency.quantile(0.5) * 1e6 << " / "
+            << socket.latency.quantile(0.95) * 1e6 << " / "
+            << socket.latency.quantile(0.99) * 1e6 << "\n";
+  return 0;
+}

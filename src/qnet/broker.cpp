@@ -12,39 +12,6 @@
 
 namespace ftl::qnet {
 
-namespace {
-
-/// Piecewise-linear lookup of the post-storage CHSH win probability, built
-/// once per simulation (the exact density-matrix computation is too slow to
-/// run per request).
-class WinCurve {
- public:
-  WinCurve(const QnetConfig& cfg, std::size_t samples = 128)
-      : max_age_(cfg.max_storage_s), wins_(samples + 1) {
-    for (std::size_t i = 0; i <= samples; ++i) {
-      const double age =
-          max_age_ * static_cast<double>(i) / static_cast<double>(samples);
-      wins_[i] = chsh_win_after_storage(cfg.source_visibility, age, age,
-                                        cfg.memory_t1_s, cfg.memory_t2_s);
-    }
-  }
-
-  [[nodiscard]] double at(double age) const {
-    if (age <= 0.0) return wins_.front();
-    if (age >= max_age_) return wins_.back();
-    const double pos = age / max_age_ * static_cast<double>(wins_.size() - 1);
-    const auto lo = static_cast<std::size_t>(pos);
-    const double frac = pos - static_cast<double>(lo);
-    return wins_[lo] * (1.0 - frac) + wins_[lo + 1] * frac;
-  }
-
- private:
-  double max_age_;
-  std::vector<double> wins_;
-};
-
-}  // namespace
-
 BrokerStats simulate_pair_supply(const QnetConfig& cfg_in,
                                  double request_rate_hz, double duration_s,
                                  util::Rng& rng) {
@@ -80,7 +47,8 @@ BrokerStats simulate_pair_supply(const QnetConfig& cfg_in,
                               cfg.memory_t2_s));
   FTL_ASSERT_MSG(cfg.max_storage_s > 0.0,
                  "source visibility too low for any quantum advantage");
-  const WinCurve win_curve(cfg);
+  const WinCurve win_curve(cfg.source_visibility, cfg.memory_t1_s,
+                           cfg.memory_t2_s, cfg.max_storage_s);
   const double deliver_p = cfg.pair_delivery_probability();
   const double delay = cfg.propagation_delay_s();
 
@@ -102,8 +70,13 @@ BrokerStats simulate_pair_supply(const QnetConfig& cfg_in,
     ++stats.pairs_generated;
     m_generated.inc();
     if (rng.bernoulli(deliver_p)) {
+      // The pair survives fiber; it is "in flight" until the scheduled
+      // delivery runs (pairs still traversing fiber at duration_s stay
+      // counted as in-flight so conservation is exact at the boundary).
+      ++stats.pairs_in_flight;
       engine.schedule_in(delay, [&, gen_time = engine.now()] {
         (void)gen_time;
+        --stats.pairs_in_flight;
         ++stats.pairs_delivered;
         m_delivered.inc();
         const double now = engine.now();
@@ -116,6 +89,8 @@ BrokerStats simulate_pair_supply(const QnetConfig& cfg_in,
         memory.push_back(now);
         m_occupancy_hw.update_max(static_cast<double>(memory.size()));
       });
+    } else {
+      ++stats.pairs_lost_fiber;
     }
     engine.schedule_in(rng.exponential(cfg.pair_rate_hz), generate_pair);
   };
@@ -148,6 +123,9 @@ BrokerStats simulate_pair_supply(const QnetConfig& cfg_in,
   engine.schedule_in(rng.exponential(request_rate_hz), request);
   engine.run_until(duration_s);
 
+  stats.pairs_in_memory = memory.size();
+  FTL_ASSERT_MSG(stats.conservation_holds(),
+                 "pair-conservation identity violated at stats boundary");
   if (stats.pair_hits > 0) {
     stats.mean_consumed_age_s =
         consumed_age_sum / static_cast<double>(stats.pair_hits);

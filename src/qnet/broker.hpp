@@ -26,6 +26,13 @@ struct BrokerStats {
   /// Pairs dropped because memory was full / expired unused.
   std::size_t pairs_dropped_full = 0;
   std::size_t pairs_expired = 0;
+  /// Pairs lost to fiber attenuation (at least one photon absorbed).
+  std::size_t pairs_lost_fiber = 0;
+  /// Pairs emitted before `duration_s` whose delivery was still traversing
+  /// fiber when the simulation stopped.
+  std::size_t pairs_in_flight = 0;
+  /// Live pairs still stored in QNIC memory at the end of the run.
+  std::size_t pairs_in_memory = 0;
   /// Mean storage age of consumed pairs, seconds.
   double mean_consumed_age_s = 0.0;
   /// Mean flipped-CHSH win probability over requests: consumed pairs
@@ -37,6 +44,17 @@ struct BrokerStats {
     return requests == 0 ? 0.0
                          : static_cast<double>(pair_hits) /
                                static_cast<double>(requests);
+  }
+
+  /// Exact pair-conservation identity at the stats boundary: every
+  /// generated pair is accounted for (lost in fiber, still in flight, or
+  /// delivered), and every delivered pair was consumed, expired, evicted,
+  /// or is still in memory. Tests assert this after every run.
+  [[nodiscard]] bool conservation_holds() const {
+    return pairs_generated ==
+               pairs_lost_fiber + pairs_in_flight + pairs_delivered &&
+           pairs_delivered == pair_hits + pairs_expired + pairs_dropped_full +
+                                  pairs_in_memory;
   }
 };
 

@@ -52,4 +52,14 @@ double useful_storage_window_s(double v0, double t1_s, double t2_s) {
   return 0.5 * (lo + hi);
 }
 
+WinCurve::WinCurve(double v0, double t1_s, double t2_s, double max_age_s,
+                   std::size_t samples)
+    : max_age_(max_age_s), wins_(samples + 1) {
+  for (std::size_t i = 0; i <= samples; ++i) {
+    const double age =
+        max_age_ * static_cast<double>(i) / static_cast<double>(samples);
+    wins_[i] = chsh_win_after_storage(v0, age, age, t1_s, t2_s);
+  }
+}
+
 }  // namespace ftl::qnet

@@ -7,6 +7,9 @@
 // load balancer keeps any advantage (>(3/4) needs enough coherence).
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "qcore/density.hpp"
 
 namespace ftl::qnet {
@@ -31,5 +34,34 @@ namespace ftl::qnet {
 /// pairs lose (v0 too small).
 [[nodiscard]] double useful_storage_window_s(double v0, double t1_s,
                                              double t2_s);
+
+/// Piecewise-linear lookup of the post-storage CHSH win probability
+/// (both halves stored for `age` seconds), built once per broker: the exact
+/// density-matrix computation behind chsh_win_after_storage is far too slow
+/// to run per request, and the curve is smooth enough that 128 samples keep
+/// the interpolation error well below the physics noise. Shared by the
+/// batch simulate_pair_supply and the serving-path LiveBroker.
+class WinCurve {
+ public:
+  WinCurve(double v0, double t1_s, double t2_s, double max_age_s,
+           std::size_t samples = 128);
+
+  /// Win probability for a pair stored `age` seconds (clamped to the
+  /// sampled range; ages past max_age_s return the terminal value).
+  [[nodiscard]] double at(double age) const {
+    if (age <= 0.0) return wins_.front();
+    if (age >= max_age_) return wins_.back();
+    const double pos = age / max_age_ * static_cast<double>(wins_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    return wins_[lo] * (1.0 - frac) + wins_[lo + 1] * frac;
+  }
+
+  [[nodiscard]] double max_age_s() const { return max_age_; }
+
+ private:
+  double max_age_;
+  std::vector<double> wins_;
+};
 
 }  // namespace ftl::qnet

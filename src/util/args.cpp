@@ -1,10 +1,51 @@
 #include "util/args.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/assert.hpp"
 
 namespace ftl::util {
+
+std::optional<double> parse_double(std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  const std::string s(token);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  // The whole token must be consumed: "1e5x" and "bogus" are errors, not
+  // truncations. Overflow to +-inf is rejected too (errno == ERANGE with an
+  // infinite result); gradual underflow to a denormal/zero is accepted.
+  if (end == s.c_str() || *end != '\0') return std::nullopt;
+  if (errno == ERANGE && std::isinf(v)) return std::nullopt;
+  return v;
+}
+
+std::optional<long long> parse_long_long(std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  const std::string s(token);
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;  // silently saturating is worse
+  return v;
+}
+
+namespace {
+
+/// Aborts with a message naming the flag and the offending token; flag
+/// typos and malformed values must fail loudly, never parse as 0.
+[[noreturn]] void bad_flag_value(const std::string& name,
+                                 const std::string& value, const char* want) {
+  std::fprintf(stderr, "ftl: invalid value for flag --%s: '%s' (want %s)\n",
+               name.c_str(), value.c_str(), want);
+  std::abort();
+}
+
+}  // namespace
 
 bool is_value_token(std::string_view token) {
   if (token.empty() || token[0] != '-') return true;
@@ -56,19 +97,27 @@ std::string Args::get(const std::string& name,
 double Args::get(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end() || it->second.empty()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const auto v = parse_double(it->second);
+  if (!v) bad_flag_value(name, it->second, "a number");
+  return *v;
 }
 
 long long Args::get(const std::string& name, long long fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end() || it->second.empty()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const auto v = parse_long_long(it->second);
+  if (!v) bad_flag_value(name, it->second, "an in-range integer");
+  return *v;
 }
 
 std::size_t Args::get(const std::string& name, std::size_t fallback) const {
-  const long long v = get(name, static_cast<long long>(fallback));
-  FTL_ASSERT_MSG(v >= 0, "flag value must be non-negative");
-  return static_cast<std::size_t>(v);
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  const auto v = parse_long_long(it->second);
+  if (!v) bad_flag_value(name, it->second, "an in-range integer");
+  // `--servers -5` must not wrap to ~1.8e19 and attempt a huge allocation.
+  if (*v < 0) bad_flag_value(name, it->second, "a non-negative integer");
+  return static_cast<std::size_t>(*v);
 }
 
 bool Args::get(const std::string& name, bool fallback) const {

@@ -8,11 +8,19 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace ftl::util {
+
+/// Strict full-token numeric parses: the *entire* token must be a valid
+/// number ("1e5x", "bogus", "" and out-of-range values all return nullopt).
+/// Args::get uses these and aborts loudly on garbage — a mistyped
+/// `--rate bogus` must never silently become 0.0.
+[[nodiscard]] std::optional<double> parse_double(std::string_view token);
+[[nodiscard]] std::optional<long long> parse_long_long(std::string_view token);
 
 /// True when `token` can serve as the space-separated value of a preceding
 /// flag: anything not beginning with '-', the bare "-" (stdin convention),

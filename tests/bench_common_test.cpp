@@ -108,6 +108,17 @@ TEST(BenchParseArgs, EqualsFormNegativeSeed) {
   EXPECT_EQ(fx.remaining(), (std::vector<std::string>{"bench"}));
 }
 
+TEST(BenchParseArgs, GarbageSeedDiesLoudly) {
+  // A mistyped `--seed 42x` must abort, not silently truncate: a bench run
+  // recorded under the wrong seed poisons the trajectory history.
+  ArgvFixture fx({"bench", "--seed", "42x"});
+  EXPECT_DEATH((void)parse_args(fx.argc(), fx.argv(), 7),
+               "invalid value for flag --seed");
+  ArgvFixture fx2({"bench", "--metrics-every=soon"});
+  EXPECT_DEATH((void)parse_args(fx2.argc(), fx2.argv(), 7),
+               "invalid value for flag --metrics-every");
+}
+
 TEST(ObsSessionSeries, SeriesPathDerivation) {
   Options with_metrics;
   with_metrics.metrics_out = "out/report.json";

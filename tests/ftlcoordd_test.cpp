@@ -1,0 +1,188 @@
+// In-process integration tests for the ftlcoordd daemon: real sockets on
+// ephemeral loopback ports, the real LiveBroker behind them, and the real
+// loadgen as the client. The CI smoke job exercises the same path across
+// process boundaries; this suite keeps it debuggable under one address
+// space (and one sanitizer run).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ftlcoordd/daemon.hpp"
+#include "ftlcoordd/loadgen.hpp"
+#include "ftlcoordd/net.hpp"
+#include "ftlcoordd/protocol.hpp"
+
+namespace ftl::coordd {
+namespace {
+
+DaemonConfig test_config() {
+  DaemonConfig cfg;
+  cfg.port = 0;          // ephemeral
+  cfg.metrics_port = 0;  // ephemeral
+  cfg.seed = 42;
+  cfg.broker.sources = 2;
+  cfg.broker.qnet.pair_rate_hz = 5e5;
+  cfg.broker.qnet.fiber_km = 0.0;
+  return cfg;
+}
+
+TEST(Ftlcoordd, StartServeStop) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  ASSERT_TRUE(daemon.running());
+  ASSERT_GT(daemon.port(), 0);
+  ASSERT_GT(daemon.metrics_port(), 0);
+
+  LoadgenConfig lg;
+  lg.port = daemon.port();
+  lg.threads = 2;
+  lg.sources = 2;
+  lg.batch = 256;
+  lg.decisions = 100000;
+  std::ostringstream log;
+  const LoadgenResult result = run_loadgen(lg, log);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GE(result.decisions_ok, lg.decisions);
+  EXPECT_EQ(result.decisions_ok,
+            result.server_stats.hits + result.server_stats.fallbacks);
+  // The decide responses and the daemon's own counters must agree.
+  EXPECT_EQ(result.decisions_ok, result.server_stats.requests);
+  EXPECT_EQ(result.rounds_won, result.server_stats.rounds_won);
+  EXPECT_EQ(result.quantum, result.server_stats.hits);
+
+  daemon.stop();
+  EXPECT_FALSE(daemon.running());
+}
+
+TEST(Ftlcoordd, StopIsIdempotentAndRestartable) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  daemon.stop();
+  daemon.stop();
+  ASSERT_TRUE(daemon.start());
+  EXPECT_TRUE(daemon.running());
+  daemon.stop();
+}
+
+TEST(Ftlcoordd, MalformedFramesGetStatusNotDisconnect) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  const int fd = connect_tcp("127.0.0.1", daemon.port());
+  ASSERT_GE(fd, 0);
+
+  std::vector<std::uint8_t> payload;
+  // Unknown message type.
+  ASSERT_TRUE(write_frame(fd, {0x7f}));
+  ASSERT_TRUE(read_frame(fd, payload));
+  EXPECT_EQ(static_cast<Status>(payload.at(0)), Status::kMalformed);
+
+  // Truncated decide body.
+  ASSERT_TRUE(write_frame(
+      fd, {static_cast<std::uint8_t>(MsgType::kDecide), 0x00, 0x00}));
+  ASSERT_TRUE(read_frame(fd, payload));
+  EXPECT_EQ(static_cast<Status>(payload.at(0)), Status::kMalformed);
+
+  // Out-of-range source index.
+  DecideRequest req;
+  req.source = 99;
+  req.inputs = {0, 1};
+  ASSERT_TRUE(write_frame(fd, encode_decide_request(req)));
+  ASSERT_TRUE(read_frame(fd, payload));
+  EXPECT_EQ(static_cast<Status>(payload.at(0)), Status::kMalformed);
+
+  // The connection must still serve a valid request afterwards.
+  req.source = 0;
+  ASSERT_TRUE(write_frame(fd, encode_decide_request(req)));
+  ASSERT_TRUE(read_frame(fd, payload));
+  const auto entries = decode_decide_response(payload);
+  ASSERT_TRUE(entries.has_value());
+  EXPECT_EQ(entries->size(), 2u);
+
+  close_fd(fd);
+  daemon.stop();
+}
+
+TEST(Ftlcoordd, OversizedBatchIsRejectedByAdmission) {
+  DaemonConfig cfg = test_config();
+  cfg.broker.max_pending = 16;
+  Daemon daemon(cfg);
+  ASSERT_TRUE(daemon.start());
+  const int fd = connect_tcp("127.0.0.1", daemon.port());
+  ASSERT_GE(fd, 0);
+
+  DecideRequest req;
+  req.source = 0;
+  req.inputs.assign(64, 0);  // 64 > max_pending
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(write_frame(fd, encode_decide_request(req)));
+  ASSERT_TRUE(read_frame(fd, payload));
+  Status status = Status::kOk;
+  EXPECT_FALSE(decode_decide_response(payload, &status).has_value());
+  EXPECT_EQ(status, Status::kRejected);
+  EXPECT_EQ(daemon.broker().stats().rejected, 64u);
+
+  close_fd(fd);
+  daemon.stop();
+}
+
+TEST(Ftlcoordd, MetricsPortServesPrometheusText) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+
+  // Drive a little traffic so the scrape has non-zero counters.
+  const int dfd = connect_tcp("127.0.0.1", daemon.port());
+  ASSERT_GE(dfd, 0);
+  DecideRequest req;
+  req.source = 0;
+  req.inputs.assign(32, 1);
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(write_frame(dfd, encode_decide_request(req)));
+  ASSERT_TRUE(read_frame(dfd, payload));
+  close_fd(dfd);
+
+  const int fd = connect_tcp("127.0.0.1", daemon.metrics_port());
+  ASSERT_GE(fd, 0);
+  const std::string get = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_TRUE(write_full(fd, get.data(), get.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof buf);
+    if (got <= 0) break;
+    response.append(buf, static_cast<std::size_t>(got));
+  }
+  close_fd(fd);
+  daemon.stop();
+
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE ftl_qnet_live_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.find("ftl_qnet_live_requests_total"), std::string::npos);
+}
+
+TEST(Ftlcoordd, ReportFramesAreCountedAndAcked) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  const int fd = connect_tcp("127.0.0.1", daemon.port());
+  ASSERT_GE(fd, 0);
+
+  ReportRequest rep;
+  rep.source = 1;
+  rep.wins = 30;
+  rep.losses = 10;
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(write_frame(fd, encode_report_request(rep)));
+  ASSERT_TRUE(read_frame(fd, payload));
+  EXPECT_EQ(static_cast<Status>(payload.at(0)), Status::kOk);
+
+  close_fd(fd);
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace ftl::coordd

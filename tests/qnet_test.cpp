@@ -96,6 +96,25 @@ TEST(Broker, ConservationOfPairs) {
   EXPECT_LE(s.pair_hits, s.pairs_delivered);
 }
 
+TEST(Broker, ConservationIsExactAtStatsBoundary) {
+  // Every generated pair must be accounted for, including pairs still
+  // traversing fiber at duration_s and live pairs left in memory — the two
+  // populations the stats used to silently leak.
+  for (std::uint64_t seed : {1u, 7u, 23u, 99u}) {
+    QnetConfig cfg;
+    cfg.pair_rate_hz = 5e4;
+    cfg.fiber_km = 25.0;  // long fiber: real loss and a fat in-flight window
+    util::Rng rng(seed);
+    const BrokerStats s = simulate_pair_supply(cfg, 1e4, 0.2, rng);
+    EXPECT_EQ(s.pairs_generated,
+              s.pairs_lost_fiber + s.pairs_in_flight + s.pairs_delivered);
+    EXPECT_EQ(s.pairs_delivered, s.pair_hits + s.pairs_expired +
+                                     s.pairs_dropped_full + s.pairs_in_memory);
+    EXPECT_TRUE(s.conservation_holds());
+    EXPECT_GT(s.pairs_lost_fiber, 0u);  // 25 km at 0.2 dB/km loses pairs
+  }
+}
+
 TEST(Broker, AbundantSupplyGivesHighHitRate) {
   QnetConfig cfg;
   cfg.pair_rate_hz = 1e6;  // 100x the request rate

@@ -111,6 +111,63 @@ TEST(Args, DashTokenIsNotSwallowedAsValue) {
   EXPECT_EQ(a.positional()[0], "-v");
 }
 
+TEST(ParseDouble, StrictFullToken) {
+  EXPECT_EQ(parse_double("0.85"), 0.85);
+  EXPECT_EQ(parse_double("-1e-3"), -1e-3);
+  EXPECT_EQ(parse_double("  1.5"), 1.5);  // strtod skips leading blanks
+  EXPECT_FALSE(parse_double("bogus").has_value());
+  EXPECT_FALSE(parse_double("1e5x").has_value());   // trailing junk
+  EXPECT_FALSE(parse_double("1.5 ").has_value());   // trailing blank
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("1e999").has_value());  // overflow to inf
+}
+
+TEST(ParseLongLong, StrictFullToken) {
+  EXPECT_EQ(parse_long_long("86"), 86);
+  EXPECT_EQ(parse_long_long("-5"), -5);
+  EXPECT_FALSE(parse_long_long("bogus").has_value());
+  EXPECT_FALSE(parse_long_long("12abc").has_value());
+  EXPECT_FALSE(parse_long_long("1.5").has_value());  // not an integer
+  EXPECT_FALSE(parse_long_long("").has_value());
+  // Out of range must fail, not silently saturate to LLONG_MAX/MIN.
+  EXPECT_FALSE(parse_long_long("99999999999999999999").has_value());
+  EXPECT_FALSE(parse_long_long("-99999999999999999999").has_value());
+}
+
+TEST(Args, GarbageDoubleValueDies) {
+  // `--rate bogus` used to silently parse as 0.0 via strtod(nullptr).
+  EXPECT_DEATH((void)parse({"prog", "--rate", "bogus"}).get("rate", 1.0),
+               "invalid value for flag --rate");
+  // `--rate 1e5x` used to silently truncate to 1e5.
+  EXPECT_DEATH((void)parse({"prog", "--rate=1e5x"}).get("rate", 1.0),
+               "invalid value for flag --rate");
+}
+
+TEST(Args, GarbageIntegerValueDies) {
+  EXPECT_DEATH(
+      (void)parse({"prog", "--n", "12abc"}).get("n", static_cast<long long>(0)),
+      "invalid value for flag --n");
+  EXPECT_DEATH((void)parse({"prog", "--n=99999999999999999999"})
+                   .get("n", static_cast<long long>(0)),
+               "invalid value for flag --n");
+}
+
+TEST(Args, NegativeSizeValueDies) {
+  // `--servers -5` used to wrap to ~1.8e19 through the long-long cast.
+  EXPECT_DEATH((void)parse({"prog", "--servers", "-5"})
+                   .get("servers", static_cast<std::size_t>(4)),
+               "non-negative");
+  EXPECT_DEATH((void)parse({"prog", "--servers=bogus"})
+                   .get("servers", static_cast<std::size_t>(4)),
+               "invalid value for flag --servers");
+}
+
+TEST(Args, ValidValuesStillParseAfterHardening) {
+  const Args a = parse({"prog", "--rate", "2.5e4", "--servers", "86"});
+  EXPECT_DOUBLE_EQ(a.get("rate", 0.0), 2.5e4);
+  EXPECT_EQ(a.get("servers", static_cast<std::size_t>(0)), 86u);
+}
+
 TEST(Args, NegativeNumberPositional) {
   const Args a = parse({"prog", "-5", "file.csv"});
   ASSERT_EQ(a.positional().size(), 2u);

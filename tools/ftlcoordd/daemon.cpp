@@ -1,0 +1,249 @@
+#include "ftlcoordd/daemon.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+
+#include "ftlcoordd/net.hpp"
+#include "ftlcoordd/protocol.hpp"
+#include "obs/export.hpp"
+
+namespace ftl::coordd {
+
+namespace {
+
+/// Serving-path decision latency: per-decision cost of a batched decide,
+/// dominated by the broker pool operation (tens of ns) — the histogram's
+/// upper edge leaves room for scheduling noise.
+constexpr double kLatencyHistHi = 50e-6;
+
+}  // namespace
+
+Daemon::Daemon(const DaemonConfig& cfg)
+    : cfg_(cfg),
+      m_connections_(obs::registry().counter("qnet.live.connections")),
+      m_frames_(obs::registry().counter("qnet.live.frames")),
+      m_malformed_(obs::registry().counter("qnet.live.malformed")),
+      m_scrapes_(obs::registry().counter("qnet.live.metrics_scrapes")),
+      m_decision_latency_(obs::registry().histogram(
+          "qnet.live.decision_latency_s", 0.0, kLatencyHistHi, 50)),
+      m_batch_size_(obs::registry().histogram("qnet.live.batch_size", 0.0,
+                                              4096.0, 64)) {}
+
+Daemon::~Daemon() { stop(); }
+
+bool Daemon::start() {
+  if (running_.load()) return true;
+  broker_ = std::make_unique<qnet::LiveBroker>(cfg_.broker, cfg_.seed);
+  listen_fd_ = listen_tcp(cfg_.port);
+  metrics_listen_fd_ = listen_tcp(cfg_.metrics_port);
+  if (listen_fd_ < 0 || metrics_listen_fd_ < 0) {
+    close_fd(listen_fd_);
+    close_fd(metrics_listen_fd_);
+    listen_fd_ = metrics_listen_fd_ = -1;
+    broker_.reset();
+    return false;
+  }
+  port_ = bound_port(listen_fd_);
+  metrics_port_ = bound_port(metrics_listen_fd_);
+  stopping_.store(false);
+  running_.store(true);
+  broker_->start_producer(cfg_.producer_period);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  metrics_acceptor_ = std::thread([this] { metrics_loop(); });
+  return true;
+}
+
+void Daemon::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  // Closing the listeners wakes the acceptors' poll. The members are only
+  // reassigned after the join: the acceptor threads read their fd at entry,
+  // so the close itself is the only thing racing the poll (benign by
+  // design — POLLNVAL/timeout both re-check stopping_).
+  close_fd(listen_fd_);
+  close_fd(metrics_listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (metrics_acceptor_.joinable()) metrics_acceptor_.join();
+  listen_fd_ = metrics_listen_fd_ = -1;
+  // Unblock handlers stuck in read_frame, then join them.
+  std::vector<std::thread> handlers;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const int fd : live_fds_) shutdown_fd(fd);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& h : handlers) {
+    if (h.joinable()) h.join();
+  }
+  broker_->stop_producer();
+}
+
+void Daemon::track_fd(int fd) {
+  const std::lock_guard<std::mutex> lock(conns_mu_);
+  live_fds_.push_back(fd);
+}
+
+void Daemon::untrack_fd(int fd) {
+  const std::lock_guard<std::mutex> lock(conns_mu_);
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                  live_fds_.end());
+}
+
+void Daemon::cleanup(int fd) {
+  untrack_fd(fd);
+  close_fd(fd);
+}
+
+void Daemon::accept_loop() {
+  const int lfd = listen_fd_;  // read once; stop() reassigns after join
+  while (!stopping_.load()) {
+    const int fd = accept_with_timeout(lfd, /*timeout_ms=*/100);
+    if (fd == -1) continue;  // timeout; re-check stopping_
+    if (fd == -2) break;     // listener closed
+    m_connections_.inc();
+    track_fd(fd);
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Daemon::metrics_loop() {
+  const int lfd = metrics_listen_fd_;  // read once; see accept_loop
+  while (!stopping_.load()) {
+    const int fd = accept_with_timeout(lfd, /*timeout_ms=*/100);
+    if (fd == -1) continue;
+    if (fd == -2) break;
+    serve_metrics_once(fd);
+    close_fd(fd);
+  }
+}
+
+void Daemon::serve_metrics_once(int fd) {
+  // Minimal HTTP/1.0: read (and discard) whatever request arrived, answer
+  // with the text exposition, close. Enough for curl and Prometheus.
+  char buf[1024];
+  (void)::read(fd, buf, sizeof buf);
+  m_scrapes_.inc();
+  const std::string body = obs::prometheus_text(obs::registry().snapshot());
+  const std::string response =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  (void)write_full(fd, response.data(), response.size());
+}
+
+void Daemon::handle_connection(int fd) {
+  std::vector<std::uint8_t> payload;
+  std::vector<DecisionEntry> entries;
+  while (!stopping_.load() && read_frame(fd, payload)) {
+    m_frames_.inc();
+    ByteReader r(payload.data(), payload.size());
+    const auto type = static_cast<MsgType>(r.u8());
+    if (!r.ok()) {
+      m_malformed_.inc();
+      if (!write_frame(fd, encode_status_response(Status::kMalformed))) break;
+      continue;
+    }
+    switch (type) {
+      case MsgType::kDecide: {
+        const auto req = decode_decide_request(r);
+        if (!req || req->source >= cfg_.broker.sources) {
+          m_malformed_.inc();
+          if (!write_frame(fd, encode_status_response(Status::kMalformed))) {
+            return cleanup(fd);
+          }
+          break;
+        }
+        const std::size_t n = req->inputs.size();
+        m_batch_size_.observe(static_cast<double>(n));
+        if (n == 0 || !broker_->try_admit(n)) {
+          // Bounded-queue backpressure: refuse the whole batch; the client
+          // retries after backing off (or sheds load).
+          if (!write_frame(fd, encode_status_response(Status::kRejected))) {
+            return cleanup(fd);
+          }
+          break;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        entries.clear();
+        entries.reserve(n);
+        for (const std::uint8_t input : req->inputs) {
+          const auto d = broker_->decide_now(req->source, input);
+          DecisionEntry e;
+          if (d.output != 0) e.flags |= DecisionEntry::kOutputBit;
+          if (d.quantum) e.flags |= DecisionEntry::kQuantumBit;
+          if (d.round_won) e.flags |= DecisionEntry::kRoundWonBit;
+          e.win_q = static_cast<std::uint16_t>(
+              std::min(65535.0, d.win_probability * 65535.0 + 0.5));
+          entries.push_back(e);
+        }
+        broker_->release(n);
+        const double per_decision_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count() /
+            static_cast<double>(n);
+        // One weighted observation per decision keeps the histogram's
+        // percentiles per-decision, not per-batch.
+        for (std::size_t i = 0; i < n; ++i) {
+          m_decision_latency_.observe(per_decision_s);
+        }
+        if (!write_frame(fd, encode_decide_response(entries))) {
+          return cleanup(fd);
+        }
+        break;
+      }
+      case MsgType::kReport: {
+        const auto req = decode_report_request(r);
+        if (!req || req->source >= cfg_.broker.sources) {
+          m_malformed_.inc();
+          if (!write_frame(fd, encode_status_response(Status::kMalformed))) {
+            return cleanup(fd);
+          }
+          break;
+        }
+        obs::registry()
+            .counter("qnet.live.reported.wins")
+            .inc(req->wins);
+        obs::registry()
+            .counter("qnet.live.reported.losses")
+            .inc(req->losses);
+        if (!write_frame(fd, encode_status_response(Status::kOk))) {
+          return cleanup(fd);
+        }
+        break;
+      }
+      case MsgType::kStats: {
+        const qnet::LiveBrokerStats s = broker_->stats();
+        StatsReply reply;
+        reply.requests = s.requests;
+        reply.hits = s.hits;
+        reply.fallbacks = s.fallbacks;
+        reply.rejected = s.rejected;
+        reply.rounds_won = s.rounds_won;
+        reply.pairs_generated = s.pairs_generated;
+        reply.pairs_delivered = s.pairs_delivered;
+        reply.pairs_lost_fiber = s.pairs_lost_fiber;
+        reply.pairs_expired = s.pairs_expired;
+        reply.pairs_dropped_full = s.pairs_dropped_full;
+        reply.pairs_in_memory = s.pairs_in_memory;
+        if (!write_frame(fd, encode_stats_response(reply))) {
+          return cleanup(fd);
+        }
+        break;
+      }
+      default:
+        m_malformed_.inc();
+        if (!write_frame(fd, encode_status_response(Status::kMalformed))) {
+          return cleanup(fd);
+        }
+        break;
+    }
+  }
+  cleanup(fd);
+}
+
+}  // namespace ftl::coordd

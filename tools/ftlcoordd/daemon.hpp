@@ -1,0 +1,101 @@
+// ftlcoordd: the long-running coordination daemon.
+//
+// Serves the decide/report protocol (protocol.hpp) on a loopback TCP port,
+// backed by a concurrent qnet::LiveBroker whose producer thread refills the
+// per-source pair pools continuously. A second loopback port answers HTTP
+// GETs with the Prometheus text exposition of the live metrics registry
+// (src/obs/export), so `curl :<metrics_port>/metrics` works against a
+// running daemon exactly like a node exporter.
+//
+// Threading model: one acceptor per port plus one handler thread per
+// connection. Clients batch decisions per frame, so connection counts stay
+// small (the loadgen uses one connection per worker thread) and the
+// thread-per-connection model keeps the hot path free of any cross-
+// connection queue; backpressure is enforced by the broker's admission
+// bound, not by socket buffering.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "qnet/live_broker.hpp"
+
+namespace ftl::coordd {
+
+struct DaemonConfig {
+  /// Decide/report protocol port (0 = ephemeral; query via port()).
+  std::uint16_t port = 0;
+  /// Prometheus /metrics port (0 = ephemeral; query via metrics_port()).
+  std::uint16_t metrics_port = 0;
+  qnet::LiveBrokerConfig broker;
+  std::uint64_t seed = 42;
+  /// Pair-pool refill cadence of the broker's producer thread.
+  std::chrono::microseconds producer_period{200};
+};
+
+class Daemon {
+ public:
+  explicit Daemon(const DaemonConfig& cfg);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds both ports, starts the producer and acceptor threads. False
+  /// when a port cannot be bound (daemon left stopped).
+  [[nodiscard]] bool start();
+
+  /// Stops acceptors, shuts down live connections, joins every thread,
+  /// and stops the producer. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint16_t metrics_port() const { return metrics_port_; }
+
+  [[nodiscard]] qnet::LiveBroker& broker() { return *broker_; }
+
+ private:
+  void accept_loop();
+  void metrics_loop();
+  void handle_connection(int fd);
+  void serve_metrics_once(int fd);
+  /// Untracks and closes a connection fd (end of its handler).
+  void cleanup(int fd);
+
+  /// Registers/unregisters a live connection fd so stop() can unblock it.
+  void track_fd(int fd);
+  void untrack_fd(int fd);
+
+  DaemonConfig cfg_;
+  std::unique_ptr<qnet::LiveBroker> broker_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  int metrics_listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint16_t metrics_port_ = 0;
+
+  std::thread acceptor_;
+  std::thread metrics_acceptor_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> handlers_;  // guarded by conns_mu_
+  std::vector<int> live_fds_;          // guarded by conns_mu_
+
+  // Daemon-side serving metrics.
+  obs::Counter& m_connections_;
+  obs::Counter& m_frames_;
+  obs::Counter& m_malformed_;
+  obs::Counter& m_scrapes_;
+  obs::Histogram& m_decision_latency_;
+  obs::Histogram& m_batch_size_;
+};
+
+}  // namespace ftl::coordd

@@ -1,0 +1,137 @@
+#include "ftlcoordd/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ftlcoordd/protocol.hpp"
+
+namespace ftl::coordd {
+
+int listen_tcp(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t bound_port(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+int accept_with_timeout(int listen_fd, int timeout_ms) {
+  pollfd pfd{listen_fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc == 0) return -1;                          // timeout
+  if (rc < 0 || (pfd.revents & (POLLERR | POLLNVAL)) != 0) return -2;
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return errno == ECONNABORTED ? -1 : -2;
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool read_full(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::read(fd, p, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t sent = ::write(fd, p, n);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  if (len > kMaxFrameBytes) return false;
+  std::uint8_t hdr[4];
+  std::memcpy(hdr, &len, sizeof hdr);
+  if (!write_full(fd, hdr, sizeof hdr)) return false;
+  return payload.empty() || write_full(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  std::uint8_t hdr[4];
+  if (!read_full(fd, hdr, sizeof hdr)) return false;
+  std::uint32_t len = 0;
+  std::memcpy(&len, hdr, sizeof len);
+  if (len > kMaxFrameBytes) return false;
+  payload.resize(len);
+  return len == 0 || read_full(fd, payload.data(), len);
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void shutdown_fd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace ftl::coordd

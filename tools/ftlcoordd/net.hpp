@@ -1,0 +1,42 @@
+// Minimal POSIX TCP helpers for the ftlcoordd daemon and its clients:
+// loopback-only listeners with ephemeral-port support, full-buffer
+// read/write (EINTR-safe), and the u32 length-prefixed frame transport the
+// protocol rides on. Everything returns false/-1 on error instead of
+// throwing — callers are server loops that must degrade per-connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftl::coordd {
+
+/// Listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral port).
+/// Returns the listening fd, or -1 on failure.
+[[nodiscard]] int listen_tcp(std::uint16_t port, int backlog = 128);
+
+/// Port a listening fd is actually bound to (resolves port 0).
+[[nodiscard]] std::uint16_t bound_port(int listen_fd);
+
+/// Blocking connect to `host`:`port`; -1 on failure. Sets TCP_NODELAY.
+[[nodiscard]] int connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Accepts one connection, waiting at most `timeout_ms` (-1 = forever).
+/// Returns the connection fd, -1 on timeout, -2 on listener error/close.
+[[nodiscard]] int accept_with_timeout(int listen_fd, int timeout_ms);
+
+/// Reads/writes exactly `n` bytes; false on EOF or error.
+[[nodiscard]] bool read_full(int fd, void* buf, std::size_t n);
+[[nodiscard]] bool write_full(int fd, const void* buf, std::size_t n);
+
+/// Frame transport: u32 little-endian payload length, then the payload.
+/// read_frame enforces the protocol's kMaxFrameBytes cap.
+[[nodiscard]] bool write_frame(int fd, const std::vector<std::uint8_t>& payload);
+[[nodiscard]] bool read_frame(int fd, std::vector<std::uint8_t>& payload);
+
+void close_fd(int fd);
+
+/// shutdown(2) both directions; unblocks a peer stuck in read_full.
+void shutdown_fd(int fd);
+
+}  // namespace ftl::coordd
