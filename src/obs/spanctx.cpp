@@ -1,0 +1,176 @@
+#include "obs/spanctx.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ftl::obs {
+
+std::string trace_id_hex(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf, 16);
+}
+
+std::uint64_t parse_trace_id_hex(std::string_view hex) {
+  if (hex.empty() || hex.size() > 16) return 0;
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return 0;
+    }
+  }
+  return v;
+}
+
+namespace real {
+
+namespace {
+
+std::string windowed_gauge_name(std::string_view base, const char* suffix) {
+  std::string out(base);
+  out += suffix;
+  return out;
+}
+
+}  // namespace
+
+SlidingHistogram::SlidingHistogram(std::string_view name, double lo, double hi,
+                                   std::size_t bins,
+                                   std::size_t window_epochs,
+                                   std::chrono::milliseconds epoch,
+                                   Registry* reg, const Labels& labels)
+    : lo_(lo),
+      hi_(hi > lo ? hi : lo + 1.0),
+      bins_(bins == 0 ? 1 : bins),
+      window_epochs_(window_epochs == 0 ? 1 : window_epochs),
+      epoch_len_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+          epoch.count() > 0 ? epoch : std::chrono::milliseconds(1))),
+      t0_(std::chrono::steady_clock::now()),
+      // One spare slot beyond the window so the epoch being cleared during
+      // a rotation is never one the window still reads.
+      ring_(window_epochs_ + 1),
+      g_p50_(
+          (reg != nullptr ? *reg : registry())
+              .gauge(windowed_gauge_name(name, ".window_p50"), labels)),
+      g_p95_(
+          (reg != nullptr ? *reg : registry())
+              .gauge(windowed_gauge_name(name, ".window_p95"), labels)),
+      g_p99_(
+          (reg != nullptr ? *reg : registry())
+              .gauge(windowed_gauge_name(name, ".window_p99"), labels)),
+      g_p999_(
+          (reg != nullptr ? *reg : registry())
+              .gauge(windowed_gauge_name(name, ".window_p999"), labels)),
+      g_count_(
+          (reg != nullptr ? *reg : registry())
+              .gauge(windowed_gauge_name(name, ".window_count"), labels)) {
+  for (Epoch& e : ring_) {
+    e.bins = std::make_unique<std::atomic<std::uint64_t>[]>(bins_);
+    for (std::size_t b = 0; b < bins_; ++b) {
+      e.bins[b].store(0, std::memory_order_relaxed);
+    }
+    e.start_idx.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  }
+  ring_[0].start_idx.store(0, std::memory_order_relaxed);
+}
+
+std::size_t SlidingHistogram::current_slot() noexcept {
+  const auto elapsed = std::chrono::steady_clock::now() - t0_;
+  const std::uint64_t epoch = static_cast<std::uint64_t>(
+      elapsed.count() / epoch_len_.count());
+  const std::size_t slot = static_cast<std::size_t>(epoch % ring_.size());
+  if (ring_[slot].start_idx.load(std::memory_order_acquire) != epoch) {
+    // First observer of a new epoch claims and clears its slot. The mutex
+    // only serializes rotations, never the per-sample fast path.
+    const std::lock_guard<std::mutex> lock(rotate_mu_);
+    if (ring_[slot].start_idx.load(std::memory_order_relaxed) != epoch) {
+      for (std::size_t b = 0; b < bins_; ++b) {
+        ring_[slot].bins[b].store(0, std::memory_order_relaxed);
+      }
+      ring_[slot].start_idx.store(epoch, std::memory_order_release);
+      std::uint64_t cur = cur_epoch_.load(std::memory_order_relaxed);
+      while (cur < epoch && !cur_epoch_.compare_exchange_weak(
+                                cur, epoch, std::memory_order_relaxed)) {
+      }
+    }
+  }
+  return slot;
+}
+
+void SlidingHistogram::observe(double x) noexcept {
+  const std::size_t slot = current_slot();
+  const double clamped = std::min(std::max(x, lo_), hi_);
+  std::size_t b = static_cast<std::size_t>((clamped - lo_) / (hi_ - lo_) *
+                                           static_cast<double>(bins_));
+  if (b >= bins_) b = bins_ - 1;
+  ring_[slot].bins[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+void SlidingHistogram::collect(std::vector<std::uint64_t>& bins_out,
+                               std::uint64_t& total_out) const {
+  bins_out.assign(bins_, 0);
+  total_out = 0;
+  const std::uint64_t cur = cur_epoch_.load(std::memory_order_relaxed);
+  const std::uint64_t oldest =
+      cur >= window_epochs_ - 1 ? cur - (window_epochs_ - 1) : 0;
+  for (const Epoch& e : ring_) {
+    const std::uint64_t idx = e.start_idx.load(std::memory_order_acquire);
+    if (idx == ~std::uint64_t{0} || idx < oldest || idx > cur) continue;
+    for (std::size_t b = 0; b < bins_; ++b) {
+      const std::uint64_t c = e.bins[b].load(std::memory_order_relaxed);
+      bins_out[b] += c;
+      total_out += c;
+    }
+  }
+}
+
+double SlidingHistogram::quantile(double q) const {
+  std::vector<std::uint64_t> bins;
+  std::uint64_t total = 0;
+  collect(bins, total);
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  const double width = (hi_ - lo_) / static_cast<double>(bins_);
+  for (std::size_t b = 0; b < bins_; ++b) {
+    const std::uint64_t c = bins[b];
+    if (static_cast<double>(seen + c) >= target && c > 0) {
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(c);
+      return lo_ + (static_cast<double>(b) + std::min(1.0, std::max(0.0, frac))) *
+                       width;
+    }
+    seen += c;
+  }
+  return hi_;
+}
+
+std::uint64_t SlidingHistogram::window_count() const {
+  std::vector<std::uint64_t> bins;
+  std::uint64_t total = 0;
+  collect(bins, total);
+  return total;
+}
+
+void SlidingHistogram::flush() {
+  // Nudge the ring forward so long-idle windows decay to empty even with
+  // no observers.
+  (void)current_slot();
+  g_p50_.set(quantile(0.50));
+  g_p95_.set(quantile(0.95));
+  g_p99_.set(quantile(0.99));
+  g_p999_.set(quantile(0.999));
+  g_count_.set(static_cast<double>(window_count()));
+}
+
+}  // namespace real
+
+}  // namespace ftl::obs

@@ -1,0 +1,228 @@
+// Propagatable trace context, parented spans, and sliding-window latency
+// histograms — the request-scoped layer of the observability subsystem.
+//
+// Three pieces:
+//  * TraceContext is a 64-bit trace id plus the span id of the current
+//    (parent) span. It crosses process boundaries on the wire (the
+//    ftlcoordd v2 decide frame carries one), so a client batch span and the
+//    daemon's per-stage child spans land in different trace files under the
+//    same trace id and `ftlbench trace-merge` can join them into one
+//    Perfetto timeline. Ids derive deterministically from an RNG-stream
+//    label (splitmix64 over seed/stream/index), which is what makes traces
+//    reproducible in stepped mode: same seed, same schedule, same ids.
+//  * CtxSpan is the parented counterpart of ScopedSpan: it times a scope
+//    and records it with trace/span/parent ids in the event's args, so
+//    Perfetto groups the stages of one request even across processes.
+//  * SlidingHistogram is a thread-safe windowed histogram: observations
+//    land in the current time epoch of a small ring, and flush() publishes
+//    p50/p95/p99/p999 over the live window as plain gauges
+//    (`<name>.window_p50`...), which ride through the existing Prometheus
+//    serializer untouched. A scrape therefore sees *recent* latency, not
+//    the run-lifetime distribution the cumulative histograms report.
+//
+// Everything here has a no-op twin under FTL_OBS_ENABLED=OFF with
+// identical signatures (asserted empty by obs_noop_test).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::obs {
+
+/// Wire-propagatable identity of one request's trace. Plain data, shared
+/// between the real and no-op configurations (like the snapshot types).
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = unsampled (no trace)
+  std::uint64_t span_id = 0;   ///< the current span; parent of any child
+
+  [[nodiscard]] bool sampled() const noexcept { return trace_id != 0; }
+
+  /// Deterministic derivation from an RNG-stream label: the same
+  /// (seed, stream, index) always names the same trace, so stepped-mode
+  /// runs produce bit-identical ids. Never returns an unsampled context.
+  [[nodiscard]] static TraceContext derive(std::uint64_t seed,
+                                           std::uint64_t stream,
+                                           std::uint64_t index) noexcept {
+    std::uint64_t s = seed;
+    s ^= 0x9e3779b97f4a7c15ULL * (stream + 1);
+    s ^= 0xbf58476d1ce4e5b9ULL * (index + 1);
+    TraceContext ctx;
+    ctx.trace_id = util::splitmix64(s);
+    if (ctx.trace_id == 0) ctx.trace_id = 1;
+    ctx.span_id = util::splitmix64(s);
+    return ctx;
+  }
+
+  /// Deterministic child span id for a labeled stage under this span.
+  [[nodiscard]] std::uint64_t child_span_id(
+      std::uint64_t label) const noexcept {
+    std::uint64_t s = trace_id ^ (span_id + 0x94d049bb133111ebULL * (label + 1));
+    return util::splitmix64(s);
+  }
+
+  /// Context a child span would propagate onward (same trace, child span).
+  [[nodiscard]] TraceContext child(std::uint64_t label) const noexcept {
+    return TraceContext{trace_id, child_span_id(label)};
+  }
+};
+
+/// 16-hex-digit rendering of an id (how ids appear in trace-event args).
+[[nodiscard]] std::string trace_id_hex(std::uint64_t id);
+
+/// Parses what trace_id_hex produced; 0 on malformed input.
+[[nodiscard]] std::uint64_t parse_trace_id_hex(std::string_view hex);
+
+namespace real {
+
+/// Times a scope and records it as a *parented* span: the event carries
+/// trace_id/span_id/parent_span_id args so cross-process viewers can join
+/// stages of one request. Inert when the tracer is inactive or the context
+/// is unsampled (one atomic load + one branch).
+class CtxSpan {
+ public:
+  CtxSpan(const char* name, const TraceContext& parent, std::uint64_t label,
+          const char* cat = "ftl") {
+    if (parent.sampled() && tracer().active()) {
+      name_ = name;
+      cat_ = cat;
+      ctx_.trace_id = parent.trace_id;
+      ctx_.span_id = parent.child_span_id(label);
+      parent_span_ = parent.span_id;
+      start_us_ = tracer().now_us();
+    }
+  }
+  ~CtxSpan() {
+    if (name_ != nullptr) {
+      Tracer& t = tracer();
+      t.record_span(name_, cat_, start_us_, t.now_us() - start_us_,
+                    ctx_.trace_id, ctx_.span_id, parent_span_);
+    }
+  }
+  CtxSpan(const CtxSpan&) = delete;
+  CtxSpan& operator=(const CtxSpan&) = delete;
+
+  /// Context for children of this span (unsampled when the span is inert).
+  [[nodiscard]] TraceContext context() const noexcept { return ctx_; }
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  TraceContext ctx_;
+  std::uint64_t parent_span_ = 0;
+  double start_us_ = 0.0;
+};
+
+/// Thread-safe sliding-window histogram: a ring of time epochs, each a set
+/// of atomic bins. observe() is lock-free on the fast path (relaxed atomic
+/// increment into the current epoch); epoch rotation takes a mutex but
+/// happens at most once per epoch period. flush() recomputes windowed
+/// p50/p95/p99/p999 (and the window sample count) into plain gauges named
+/// `<name>.window_p50` etc., so the existing Prometheus serializer exports
+/// them with no new machinery. Quantiles interpolate within bins exactly
+/// like util::Histogram.
+///
+/// Concurrent observers racing a rotation may land a sample in an epoch
+/// being cleared; that is monitoring-grade accuracy by design (same stance
+/// as Histogram::sample()).
+class SlidingHistogram {
+ public:
+  /// Window = `window_epochs` epochs of `epoch` wall time each. Gauges are
+  /// registered on `reg` (default: the process-wide registry) under
+  /// `name.window_p50|p95|p99|p999|count` with `labels`.
+  SlidingHistogram(std::string_view name, double lo, double hi,
+                   std::size_t bins, std::size_t window_epochs,
+                   std::chrono::milliseconds epoch, Registry* reg = nullptr,
+                   const Labels& labels = {});
+
+  void observe(double x) noexcept;
+
+  /// Publishes the current window's quantiles and count to the gauges.
+  /// Call from the scrape/export path (cost: one pass over the ring).
+  void flush();
+
+  /// Quantile over the live window (flush-independent; for tests).
+  [[nodiscard]] double quantile(double q) const;
+  /// Samples currently inside the window.
+  [[nodiscard]] std::uint64_t window_count() const;
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+  SlidingHistogram(const SlidingHistogram&) = delete;
+  SlidingHistogram& operator=(const SlidingHistogram&) = delete;
+
+ private:
+  struct Epoch {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> bins;
+    std::atomic<std::uint64_t> start_idx{0};  ///< epoch index the bins belong to
+  };
+
+  /// Epoch index for "now"; rotates the ring forward when time moved on.
+  std::size_t current_slot() noexcept;
+  void collect(std::vector<std::uint64_t>& bins_out,
+               std::uint64_t& total_out) const;
+
+  double lo_;
+  double hi_;
+  std::size_t bins_;
+  std::size_t window_epochs_;
+  std::chrono::nanoseconds epoch_len_;
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<Epoch> ring_;
+  std::atomic<std::uint64_t> cur_epoch_{0};
+  std::mutex rotate_mu_;
+
+  Gauge& g_p50_;
+  Gauge& g_p95_;
+  Gauge& g_p99_;
+  Gauge& g_p999_;
+  Gauge& g_count_;
+};
+
+}  // namespace real
+
+namespace noop {
+
+struct CtxSpan {
+  CtxSpan(const char*, const TraceContext&, std::uint64_t,
+          const char* = "ftl") noexcept {}
+  CtxSpan(const CtxSpan&) = delete;
+  CtxSpan& operator=(const CtxSpan&) = delete;
+  [[nodiscard]] TraceContext context() const noexcept { return {}; }
+};
+
+struct SlidingHistogram {
+  SlidingHistogram(std::string_view, double, double, std::size_t, std::size_t,
+                   std::chrono::milliseconds, Registry* = nullptr,
+                   const Labels& = {}) noexcept {}
+  void observe(double) const noexcept {}
+  void flush() const noexcept {}
+  [[nodiscard]] double quantile(double) const noexcept { return 0.0; }
+  [[nodiscard]] std::uint64_t window_count() const noexcept { return 0; }
+  [[nodiscard]] double lo() const noexcept { return 0.0; }
+  [[nodiscard]] double hi() const noexcept { return 1.0; }
+  SlidingHistogram(const SlidingHistogram&) = delete;
+  SlidingHistogram& operator=(const SlidingHistogram&) = delete;
+};
+
+}  // namespace noop
+
+#if FTL_OBS_ENABLED
+using CtxSpan = real::CtxSpan;
+using SlidingHistogram = real::SlidingHistogram;
+#else
+using CtxSpan = noop::CtxSpan;
+using SlidingHistogram = noop::SlidingHistogram;
+#endif
+
+}  // namespace ftl::obs

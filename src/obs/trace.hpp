@@ -42,6 +42,29 @@ class Tracer {
   /// Appends an instant ("ph":"i") event. No-op when inactive.
   void record_instant(const char* name, const char* cat);
 
+  /// Appends a complete event carrying trace/span/parent ids in its args
+  /// (hex strings), joinable across processes by `ftlbench trace-merge`.
+  /// No-op when inactive.
+  void record_span(const char* name, const char* cat, double ts_us,
+                   double dur_us, std::uint64_t trace_id,
+                   std::uint64_t span_id, std::uint64_t parent_span_id);
+
+  /// Appends an instant event tagged with a trace id and a `stage` arg
+  /// (e.g. the deadline-miss attribution marker). `stage` is not copied:
+  /// string literals only, like span names. No-op when inactive.
+  void record_instant_tagged(const char* name, const char* cat,
+                             std::uint64_t trace_id, const char* stage);
+
+  /// Microseconds between start() and `tp` (may be negative for earlier
+  /// timestamps; 0 when never started).
+  [[nodiscard]] double ts_us(std::chrono::steady_clock::time_point tp) const;
+
+  /// start()'s position on the steady clock, in nanoseconds since the
+  /// clock's epoch. Two tracers on the same host share that epoch, which
+  /// is what lets trace-merge re-base client and server files onto one
+  /// timeline. 0 when never started.
+  [[nodiscard]] std::uint64_t t0_steady_ns() const;
+
   [[nodiscard]] std::size_t size() const;
 
   /// Serializes the buffer as a Chrome trace JSON document.
@@ -58,6 +81,11 @@ class Tracer {
     double ts_us;
     double dur_us;
     std::uint64_t tid;
+    // Parented-span identity; 0 = plain (un-parented) event.
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
+    const char* stage = nullptr;  // optional `stage` arg (literals only)
   };
 
   std::atomic<bool> active_{false};
@@ -125,6 +153,15 @@ struct Tracer {
   void record_complete(const char*, const char*, double, double) const
       noexcept {}
   void record_instant(const char*, const char*) const noexcept {}
+  void record_span(const char*, const char*, double, double, std::uint64_t,
+                   std::uint64_t, std::uint64_t) const noexcept {}
+  void record_instant_tagged(const char*, const char*, std::uint64_t,
+                             const char*) const noexcept {}
+  [[nodiscard]] double ts_us(std::chrono::steady_clock::time_point) const
+      noexcept {
+    return 0.0;
+  }
+  [[nodiscard]] std::uint64_t t0_steady_ns() const noexcept { return 0; }
   [[nodiscard]] std::size_t size() const noexcept { return 0; }
   [[nodiscard]] std::string json() const {
     return "{\"traceEvents\":[]}";  // still a valid (empty) trace

@@ -29,6 +29,11 @@ LiveBroker::LiveBroker(const LiveBrokerConfig& cfg, std::uint64_t seed)
       m_dropped_full_(obs::registry().counter("qnet.live.pairs.dropped_full")),
       m_consumed_age_(obs::registry().histogram("qnet.live.consumed.age_s",
                                                 0.0, max_storage_s_, 50)),
+      // Age-at-consumption in microseconds: the deadline-attribution view
+      // of the same physics consumed.age_s records in seconds — a scrape
+      // can read pair staleness on the same scale as the stage latencies.
+      m_pair_age_us_(obs::registry().histogram(
+          "qnet.live.pair_age_us", 0.0, max_storage_s_ * 1e6, 50)),
       m_chsh_win_(obs::registry().histogram("qnet.live.chsh_win", 0.5, 1.0,
                                             50)),
       m_occupancy_hw_(
@@ -38,12 +43,18 @@ LiveBroker::LiveBroker(const LiveBrokerConfig& cfg, std::uint64_t seed)
   FTL_ASSERT_MSG(max_storage_s_ > 0.0,
                  "source visibility too low for any quantum advantage");
   util::Rng master(seed);
+  const std::size_t slots = cfg_.slots_per_source();
   sources_.reserve(cfg.sources);
   for (std::size_t i = 0; i < cfg.sources; ++i) {
     auto s = std::make_unique<Source>();
-    s->ring.resize(cfg_.slots_per_source());
+    s->ring.resize(slots);
     s->rng = master.split(i);
     s->next_emit_s = s->rng.exponential(cfg_.qnet.pair_rate_hz);
+    s->occupancy = &obs::registry().histogram(
+        "qnet.live.pool_occupancy", 0.0,
+        static_cast<double>(std::max<std::size_t>(slots, 1)),
+        std::clamp<std::size_t>(slots, 1, 64),
+        obs::Labels{{"source", std::to_string(i)}});
     sources_.push_back(std::move(s));
   }
 }
@@ -99,6 +110,7 @@ void LiveBroker::produce_locked(Source& s, double now_s) {
       s.ring[(s.head + s.count) % cap] = arrival;
       ++s.count;
       m_occupancy_hw_.update_max(static_cast<double>(s.count));
+      s.occupancy->observe(static_cast<double>(s.count));
     } else {
       ++s.lost_fiber;
       m_lost_fiber_.inc();
@@ -139,6 +151,8 @@ LiveBroker::Decision LiveBroker::decide(std::size_t source, std::uint8_t input,
     s.consumed_age_sum_s += age;
     m_hits_.inc();
     m_consumed_age_.observe(age);
+    m_pair_age_us_.observe(age * 1e6);
+    s.occupancy->observe(static_cast<double>(s.count));
   } else {
     // Classical fallback: the pre-agreed deterministic strategy (output
     // your input) wins the flipped-CHSH game with probability 3/4.

@@ -184,6 +184,10 @@ class LiveBroker {
                   rounds_won = 0;
     double consumed_age_sum_s = 0.0;
     double win_sum = 0.0;
+    /// Per-source pool-occupancy histogram (`qnet.live.pool_occupancy`
+    /// labeled source=<i>), sampled after every arrival and consumption —
+    /// the distribution, where the high-water gauge only keeps the max.
+    obs::Histogram* occupancy = nullptr;
   };
 
   /// Drops pairs older than the storage window. Caller holds s.mu.
@@ -224,6 +228,7 @@ class LiveBroker {
   obs::Counter& m_expired_;
   obs::Counter& m_dropped_full_;
   obs::Histogram& m_consumed_age_;
+  obs::Histogram& m_pair_age_us_;
   obs::Histogram& m_chsh_win_;
   obs::Gauge& m_occupancy_hw_;
 };

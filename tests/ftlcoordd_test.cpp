@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -15,6 +17,9 @@
 #include "ftlcoordd/loadgen.hpp"
 #include "ftlcoordd/net.hpp"
 #include "ftlcoordd/protocol.hpp"
+#include "obs/json.hpp"
+#include "obs/spanctx.hpp"
+#include "obs/trace.hpp"
 
 namespace ftl::coordd {
 namespace {
@@ -164,6 +169,193 @@ TEST(Ftlcoordd, MetricsPortServesPrometheusText) {
             std::string::npos);
   EXPECT_NE(response.find("ftl_qnet_live_requests_total"), std::string::npos);
 }
+
+std::uint64_t now_steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TEST(Ftlcoordd, DecideV2RoundTripWithGenerousDeadline) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  const int fd = connect_tcp("127.0.0.1", daemon.port());
+  ASSERT_GE(fd, 0);
+
+  DecideRequestV2 req;
+  req.source = 0;
+  req.trace_id = 0;  // unsampled: context rides the frame, no spans
+  req.client_send_steady_ns = now_steady_ns();
+  req.deadline_us = 10'000'000;  // 10 s: nothing on loopback misses this
+  req.inputs = {0, 1, 1, 0};
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(write_frame(fd, encode_decide_request_v2(req)));
+  ASSERT_TRUE(read_frame(fd, payload));
+  const auto entries = decode_decide_response(payload);
+  ASSERT_TRUE(entries.has_value());
+  ASSERT_EQ(entries->size(), req.inputs.size());
+  for (const DecisionEntry& e : *entries) {
+    EXPECT_EQ(e.flags & DecisionEntry::kDeadlineMissBit, 0);
+  }
+
+  close_fd(fd);
+  daemon.stop();
+}
+
+TEST(Ftlcoordd, DecideV2StaleTimestampSetsDeadlineMissBit) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  const int fd = connect_tcp("127.0.0.1", daemon.port());
+  ASSERT_GE(fd, 0);
+
+  // A batch "sent" 10 ms ago with a 1 us budget has blown the deadline
+  // before the daemon even reads it: every entry must carry the miss bit,
+  // and the miss must be attributed to the earliest stage boundary.
+  DecideRequestV2 req;
+  req.source = 1;
+  req.client_send_steady_ns = now_steady_ns() - 10'000'000u;
+  req.deadline_us = 1;
+  req.inputs.assign(8, 1);
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(write_frame(fd, encode_decide_request_v2(req)));
+  ASSERT_TRUE(read_frame(fd, payload));
+  const auto entries = decode_decide_response(payload);
+  ASSERT_TRUE(entries.has_value());
+  ASSERT_EQ(entries->size(), 8u);
+  for (const DecisionEntry& e : *entries) {
+    EXPECT_NE(e.flags & DecisionEntry::kDeadlineMissBit, 0);
+  }
+
+  close_fd(fd);
+  daemon.stop();
+}
+
+TEST(Ftlcoordd, V1AndV2FramesInterleaveOnOneConnection) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  const int fd = connect_tcp("127.0.0.1", daemon.port());
+  ASSERT_GE(fd, 0);
+
+  std::vector<std::uint8_t> payload;
+  // Old client first: the v1 frame must keep working against the new
+  // daemon, byte for byte.
+  DecideRequest v1;
+  v1.source = 0;
+  v1.inputs = {1, 0, 1};
+  ASSERT_TRUE(write_frame(fd, encode_decide_request(v1)));
+  ASSERT_TRUE(read_frame(fd, payload));
+  const auto v1_entries = decode_decide_response(payload);
+  ASSERT_TRUE(v1_entries.has_value());
+  EXPECT_EQ(v1_entries->size(), 3u);
+  for (const DecisionEntry& e : *v1_entries) {
+    // v1 has no deadline, so the v2-only bit can never be set.
+    EXPECT_EQ(e.flags & DecisionEntry::kDeadlineMissBit, 0);
+  }
+
+  DecideRequestV2 v2;
+  v2.source = 0;
+  v2.client_send_steady_ns = now_steady_ns();
+  v2.deadline_us = 10'000'000;
+  v2.inputs = {0, 1};
+  ASSERT_TRUE(write_frame(fd, encode_decide_request_v2(v2)));
+  ASSERT_TRUE(read_frame(fd, payload));
+  EXPECT_EQ(decode_decide_response(payload)->size(), 2u);
+
+  // And back to v1 on the same connection.
+  ASSERT_TRUE(write_frame(fd, encode_decide_request(v1)));
+  ASSERT_TRUE(read_frame(fd, payload));
+  EXPECT_EQ(decode_decide_response(payload)->size(), 3u);
+
+  close_fd(fd);
+  daemon.stop();
+}
+
+TEST(Ftlcoordd, TruncatedV2FrameIsMalformedNotFatal) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  const int fd = connect_tcp("127.0.0.1", daemon.port());
+  ASSERT_GE(fd, 0);
+
+  // Type byte + source, then nothing: the v2 header needs 32 more bytes.
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(write_frame(fd, {static_cast<std::uint8_t>(MsgType::kDecideV2),
+                               0x00, 0x00, 0x00, 0x00}));
+  ASSERT_TRUE(read_frame(fd, payload));
+  EXPECT_EQ(static_cast<Status>(payload.at(0)), Status::kMalformed);
+
+  // The connection survives and serves a well-formed v2 frame.
+  DecideRequestV2 req;
+  req.source = 0;
+  req.inputs = {1};
+  ASSERT_TRUE(write_frame(fd, encode_decide_request_v2(req)));
+  ASSERT_TRUE(read_frame(fd, payload));
+  EXPECT_EQ(decode_decide_response(payload)->size(), 1u);
+
+  close_fd(fd);
+  daemon.stop();
+}
+
+#if FTL_OBS_ENABLED
+TEST(Ftlcoordd, SampledV2BatchRecordsParentedServerSpans) {
+  // In-process daemon and test share the global tracer, so the spans a
+  // sampled v2 batch produces are directly inspectable.
+  auto& tracer = obs::real::tracer();
+  tracer.start();
+  Daemon daemon(test_config());  // trace_sample_n defaults to 1
+  ASSERT_TRUE(daemon.start());
+  const int fd = connect_tcp("127.0.0.1", daemon.port());
+  ASSERT_GE(fd, 0);
+
+  const obs::TraceContext ctx = obs::TraceContext::derive(42, 0, 0);
+  DecideRequestV2 req;
+  req.source = 0;
+  req.trace_id = ctx.trace_id;
+  req.parent_span_id = ctx.span_id;
+  req.client_send_steady_ns = now_steady_ns();
+  req.deadline_us = 10'000'000;
+  req.inputs = {0, 1, 1};
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(write_frame(fd, encode_decide_request_v2(req)));
+  ASSERT_TRUE(read_frame(fd, payload));
+  ASSERT_TRUE(decode_decide_response(payload).has_value());
+
+  close_fd(fd);
+  daemon.stop();
+  tracer.stop();
+
+  const auto doc = obs::json::parse(tracer.json());
+  ASSERT_TRUE(doc.has_value());
+  const obs::json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const std::string want_trace = obs::trace_id_hex(ctx.trace_id);
+  const obs::TraceContext root = ctx.child(0);
+  std::set<std::string> names;
+  bool serve_batch_parented_to_client = false;
+  for (const obs::json::Value& e : events->array) {
+    const obs::json::Value* args = e.find("args");
+    if (args == nullptr || args->find("trace_id") == nullptr) continue;
+    if (args->find("trace_id")->string != want_trace) continue;
+    const std::string name = e.find("name")->string;
+    names.insert(name);
+    if (name == "serve_batch") {
+      serve_batch_parented_to_client =
+          obs::parse_trace_id_hex(args->find("parent_span_id")->string) ==
+          ctx.span_id;
+    } else if (args->find("parent_span_id") != nullptr && name != "serve_batch") {
+      // Every stage span hangs off the server root span.
+      EXPECT_EQ(obs::parse_trace_id_hex(args->find("parent_span_id")->string),
+                root.span_id)
+          << name;
+    }
+  }
+  EXPECT_TRUE(serve_batch_parented_to_client);
+  for (const char* stage : {"serve_batch", "socket_read", "admission",
+                            "pair_acquire", "decide", "reply_write"}) {
+    EXPECT_TRUE(names.count(stage) == 1) << stage;
+  }
+}
+#endif  // FTL_OBS_ENABLED
 
 TEST(Ftlcoordd, ReportFramesAreCountedAndAcked) {
   Daemon daemon(test_config());

@@ -3,9 +3,12 @@
 // this is checkable from any build configuration.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <type_traits>
 
 #include "obs/metrics.hpp"
+#include "obs/spanctx.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -21,11 +24,20 @@ static_assert(std::is_empty_v<noop::Registry>);
 static_assert(std::is_empty_v<noop::Tracer>);
 static_assert(std::is_empty_v<noop::ScopedSpan>);
 static_assert(std::is_empty_v<noop::ScopedHistogramTimer>);
+static_assert(std::is_empty_v<noop::CtxSpan>);
+static_assert(std::is_empty_v<noop::SlidingHistogram>);
 
 // The real twins are decidedly not empty — if one ever became empty the
 // aliases were probably mis-wired.
 static_assert(!std::is_empty_v<ftl::obs::real::Counter>);
 static_assert(!std::is_empty_v<ftl::obs::real::Histogram>);
+static_assert(!std::is_empty_v<ftl::obs::real::CtxSpan>);
+static_assert(!std::is_empty_v<ftl::obs::real::SlidingHistogram>);
+
+// TraceContext is shared plain data, not twinned: both configurations use
+// the same type, so ids derived under OFF still propagate on the wire.
+static_assert(std::is_same_v<decltype(ftl::obs::TraceContext{}.trace_id),
+                             std::uint64_t>);
 
 // The alias switch must agree with the macro in this translation unit.
 #if FTL_OBS_ENABLED
@@ -70,6 +82,21 @@ TEST(ObsNoop, ScopedTypesConstructAndDestruct) {
   t.record_instant("x", "y");
   EXPECT_FALSE(t.active());
   EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(ObsNoop, SpanCtxTwinsAreInert) {
+  const ftl::obs::TraceContext ctx =
+      ftl::obs::TraceContext::derive(42, 0, 0);
+  {
+    noop::CtxSpan span("stage", ctx, 3);
+    EXPECT_FALSE(span.context().sampled());
+  }
+  noop::SlidingHistogram h("w", 0.0, 10.0, 10, 4,
+                           std::chrono::milliseconds(100));
+  h.observe(1.0);
+  h.flush();
+  EXPECT_EQ(h.window_count(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,187 @@
+// TraceContext derivation, parented CtxSpan recording, and the sliding-
+// window histogram: determinism of the ids, correctness of the emitted
+// args, and windowed-percentile publication through the gauge path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/spanctx.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+namespace json = ftl::obs::json;
+using ftl::obs::parse_trace_id_hex;
+using ftl::obs::TraceContext;
+using ftl::obs::trace_id_hex;
+using ftl::obs::real::CtxSpan;
+using ftl::obs::real::SlidingHistogram;
+using ftl::obs::real::Tracer;
+
+TEST(TraceContext, DerivationIsDeterministic) {
+  const TraceContext a = TraceContext::derive(42, 3, 17);
+  const TraceContext b = TraceContext::derive(42, 3, 17);
+  EXPECT_EQ(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.span_id, b.span_id);
+  EXPECT_TRUE(a.sampled());
+}
+
+TEST(TraceContext, DistinctInputsGiveDistinctTraces) {
+  std::set<std::uint64_t> ids;
+  for (std::uint64_t stream = 0; stream < 8; ++stream) {
+    for (std::uint64_t index = 0; index < 64; ++index) {
+      const TraceContext ctx = TraceContext::derive(42, stream, index);
+      EXPECT_NE(ctx.trace_id, 0u);
+      ids.insert(ctx.trace_id);
+    }
+  }
+  // splitmix64 over distinct inputs: collisions across 512 draws would
+  // point at a broken mix, not bad luck.
+  EXPECT_EQ(ids.size(), 8u * 64u);
+}
+
+TEST(TraceContext, ChildSpansStayInTraceWithFreshIds) {
+  const TraceContext root = TraceContext::derive(7, 0, 0);
+  const TraceContext c0 = root.child(0);
+  const TraceContext c1 = root.child(1);
+  EXPECT_EQ(c0.trace_id, root.trace_id);
+  EXPECT_EQ(c1.trace_id, root.trace_id);
+  EXPECT_NE(c0.span_id, root.span_id);
+  EXPECT_NE(c0.span_id, c1.span_id);
+  EXPECT_EQ(c0.span_id, root.child_span_id(0));
+}
+
+TEST(TraceContext, HexRoundTrips) {
+  for (const std::uint64_t id :
+       {std::uint64_t{1}, std::uint64_t{0xdeadbeefULL},
+        std::uint64_t{0xffffffffffffffffULL},
+        TraceContext::derive(42, 0, 0).trace_id}) {
+    const std::string hex = trace_id_hex(id);
+    EXPECT_EQ(hex.size(), 16u);
+    EXPECT_EQ(parse_trace_id_hex(hex), id);
+  }
+  EXPECT_EQ(parse_trace_id_hex(""), 0u);
+  EXPECT_EQ(parse_trace_id_hex("xyz"), 0u);
+  EXPECT_EQ(parse_trace_id_hex("123"), 0x123u);  // short hex is tolerated
+  EXPECT_EQ(parse_trace_id_hex("00112233445566778899"), 0u);  // too long
+}
+
+TEST(CtxSpan, RecordsParentedSpanWithArgs) {
+  Tracer& t = ftl::obs::real::tracer();
+  t.start();
+  const TraceContext parent = TraceContext::derive(42, 1, 2);
+  { CtxSpan span("stage_a", parent, /*label=*/5, "testcat"); }
+  t.stop();
+  ASSERT_EQ(t.size(), 1u);
+
+  const auto doc = json::parse(t.json());
+  ASSERT_TRUE(doc.has_value());
+  const json::Value* other = doc->find("otherData");
+  ASSERT_NE(other, nullptr);
+  const json::Value* t0 = other->find("t0_steady_ns");
+  ASSERT_NE(t0, nullptr);
+  EXPECT_TRUE(t0->is_string());
+  EXPECT_NE(t0->string, "0");
+
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  const json::Value& e = events->array[0];
+  EXPECT_EQ(e.find("name")->string, "stage_a");
+  EXPECT_EQ(e.find("cat")->string, "testcat");
+  const json::Value* args = e.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(parse_trace_id_hex(args->find("trace_id")->string),
+            parent.trace_id);
+  EXPECT_EQ(parse_trace_id_hex(args->find("span_id")->string),
+            parent.child_span_id(5));
+  EXPECT_EQ(parse_trace_id_hex(args->find("parent_span_id")->string),
+            parent.span_id);
+}
+
+TEST(CtxSpan, UnsampledParentIsInert) {
+  Tracer& t = ftl::obs::real::tracer();
+  t.start();
+  const TraceContext unsampled;  // trace_id 0
+  {
+    CtxSpan span("never", unsampled, 0);
+    EXPECT_FALSE(span.context().sampled());
+  }
+  t.stop();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(SlidingHistogram, QuantilesOverTheLiveWindow) {
+  ftl::obs::real::Registry reg;
+  // One huge epoch: nothing rotates out during the test.
+  SlidingHistogram h("lat_us", 0.0, 1000.0, 100, /*window_epochs=*/4,
+                     std::chrono::milliseconds(60000), &reg);
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i % 1000));
+  EXPECT_EQ(h.window_count(), 1000u);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.999);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_NEAR(p50, 500.0, 50.0);
+  EXPECT_NEAR(p95, 950.0, 50.0);
+}
+
+TEST(SlidingHistogram, FlushPublishesWindowGauges) {
+  ftl::obs::real::Registry reg;
+  SlidingHistogram h("stage_us", 0.0, 100.0, 50, 4,
+                     std::chrono::milliseconds(60000), &reg,
+                     {{"stage", "decide"}});
+  for (int i = 0; i < 100; ++i) h.observe(10.0);
+  h.flush();
+  const ftl::obs::Snapshot snap = reg.snapshot();
+  bool saw_p50 = false, saw_count = false;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "stage_us.window_p50") {
+      saw_p50 = true;
+      EXPECT_NEAR(g.value, 10.0, 2.5);
+      ASSERT_EQ(g.labels.size(), 1u);
+      EXPECT_EQ(g.labels[0].second, "decide");
+    }
+    if (g.name == "stage_us.window_count") {
+      saw_count = true;
+      EXPECT_EQ(g.value, 100.0);
+    }
+  }
+  EXPECT_TRUE(saw_p50);
+  EXPECT_TRUE(saw_count);
+}
+
+TEST(SlidingHistogram, OldEpochsFallOutOfTheWindow) {
+  ftl::obs::real::Registry reg;
+  // 2-epoch window of 10 ms epochs: samples vanish ~30 ms later.
+  SlidingHistogram h("w", 0.0, 10.0, 10, /*window_epochs=*/2,
+                     std::chrono::milliseconds(10), &reg);
+  for (int i = 0; i < 50; ++i) h.observe(5.0);
+  EXPECT_EQ(h.window_count(), 50u);
+  // Sleep past the whole window, then let an observe rotate the ring.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  h.observe(5.0);
+  EXPECT_LE(h.window_count(), 1u + 50u);  // old epochs may already be gone
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  h.flush();
+  EXPECT_EQ(h.window_count(), 0u);
+}
+
+TEST(SlidingHistogram, ClampsOutOfRangeObservations) {
+  ftl::obs::real::Registry reg;
+  SlidingHistogram h("clamp", 0.0, 10.0, 10, 2,
+                     std::chrono::milliseconds(60000), &reg);
+  h.observe(-5.0);
+  h.observe(1e9);
+  EXPECT_EQ(h.window_count(), 2u);
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// ftlbench trace-merge against hand-built client/server traces with exact
+// arithmetic: the six attribution components must partition the RTT, the
+// join must key on trace id, and the rebased merged document must put both
+// processes on one timeline.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ftlbench/tracemerge.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+namespace json = ftl::obs::json;
+using ftl::benchtool::merge_traces;
+using ftl::benchtool::StageStats;
+using ftl::benchtool::TraceMergeResult;
+
+// Client tracer started 1 ms after the server's: client events shift by
+// +1000 us onto the common timeline, server events by 0.
+constexpr const char* kClientTrace = R"({
+  "otherData": {"t0_steady_ns": "2000000"},
+  "traceEvents": [
+    {"name": "batch_rtt", "cat": "loadgen", "ph": "X", "ts": 0, "dur": 100,
+     "pid": 0, "tid": 0, "args": {"trace_id": "00000000000000aa"}},
+    {"name": "batch_rtt", "cat": "loadgen", "ph": "X", "ts": 200, "dur": 80,
+     "pid": 0, "tid": 1, "args": {"trace_id": "00000000000000bb"}},
+    {"name": "batch_rtt", "cat": "loadgen", "ph": "X", "ts": 400, "dur": 10,
+     "pid": 0, "tid": 0, "args": {"trace_id": "00000000000000cc"}}
+  ]
+})";
+
+constexpr const char* kServerTrace = R"({
+  "otherData": {"t0_steady_ns": "1000000"},
+  "traceEvents": [
+    {"name": "serve_batch", "ph": "X", "ts": 1002, "dur": 78, "tid": 3,
+     "args": {"trace_id": "00000000000000aa"}},
+    {"name": "socket_read", "ph": "X", "ts": 1005, "dur": 5, "tid": 3,
+     "args": {"trace_id": "00000000000000aa"}},
+    {"name": "admission", "ph": "X", "ts": 1010, "dur": 10, "tid": 3,
+     "args": {"trace_id": "00000000000000aa"}},
+    {"name": "pair_acquire", "ph": "X", "ts": 1020, "dur": 20, "tid": 3,
+     "args": {"trace_id": "00000000000000aa"}},
+    {"name": "decide", "ph": "X", "ts": 1040, "dur": 30, "tid": 3,
+     "args": {"trace_id": "00000000000000aa"}},
+    {"name": "reply_write", "ph": "X", "ts": 1070, "dur": 10, "tid": 3,
+     "args": {"trace_id": "00000000000000aa"}},
+    {"name": "admission", "ph": "X", "ts": 1210, "dur": 10, "tid": 4,
+     "args": {"trace_id": "00000000000000bb"}},
+    {"name": "pair_acquire", "ph": "X", "ts": 1220, "dur": 10, "tid": 4,
+     "args": {"trace_id": "00000000000000bb"}},
+    {"name": "decide", "ph": "X", "ts": 1230, "dur": 20, "tid": 4,
+     "args": {"trace_id": "00000000000000bb"}},
+    {"name": "reply_write", "ph": "X", "ts": 1250, "dur": 10, "tid": 4,
+     "args": {"trace_id": "00000000000000bb"}},
+    {"name": "serve_batch", "ph": "X", "ts": 1400, "dur": 5, "tid": 3,
+     "args": {"trace_id": "00000000000000dd"}},
+    {"name": "deadline_hit", "ph": "i", "ts": 1080, "s": "p",
+     "args": {"stage": "none"}},
+    {"name": "deadline_hit", "ph": "i", "ts": 1260, "s": "p",
+     "args": {"stage": "none"}},
+    {"name": "deadline_miss", "ph": "i", "ts": 1300, "s": "p",
+     "args": {"stage": "pair_acquire"}},
+    {"name": "deadline_miss", "ph": "i", "ts": 1310, "s": "p",
+     "args": {"stage": "pair_acquire"}},
+    {"name": "deadline_miss", "ph": "i", "ts": 1320, "s": "p",
+     "args": {"stage": "reply_write"}}
+  ]
+})";
+
+const StageStats* find_stage(const TraceMergeResult& r, const std::string& n) {
+  for (const StageStats& s : r.stages)
+    if (s.name == n) return &s;
+  return nullptr;
+}
+
+TEST(TraceMerge, JoinsByTraceIdAndPartitionsRtt) {
+  const TraceMergeResult r = merge_traces(kClientTrace, kServerTrace);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.client_events, 3u);
+  EXPECT_EQ(r.server_events, 16u);
+  EXPECT_EQ(r.traces_client, 3u);
+  EXPECT_EQ(r.traces_server, 3u);  // aa, bb, dd (dd has serve_batch only)
+  EXPECT_EQ(r.traces_joined, 2u);  // cc has no server side; dd no client
+
+  // Trace aa: rtt 100 = wire_in 10 + admission 10 + pair_acquire 20 +
+  // decide 30 + reply_write 10 + wire_out 20. Trace bb: rtt 80 = 10 + 10 +
+  // 10 + 20 + 10 + 20. Means over the two joined traces:
+  EXPECT_DOUBLE_EQ(r.rtt.mean_us, 90.0);
+  EXPECT_DOUBLE_EQ(r.mean_attributed_us, 90.0);
+  EXPECT_DOUBLE_EQ(r.attributed_fraction, 1.0);
+
+  const StageStats* wire_in = find_stage(r, "wire_in");
+  ASSERT_NE(wire_in, nullptr);
+  EXPECT_EQ(wire_in->count, 2u);
+  EXPECT_DOUBLE_EQ(wire_in->mean_us, 10.0);
+
+  // socket_read overlaps wire_in and is reported but not attributed; only
+  // trace aa recorded one.
+  const StageStats* sr = find_stage(r, "socket_read");
+  ASSERT_NE(sr, nullptr);
+  EXPECT_EQ(sr->count, 1u);
+  EXPECT_DOUBLE_EQ(sr->mean_us, 5.0);
+
+  const StageStats* acquire = find_stage(r, "pair_acquire");
+  ASSERT_NE(acquire, nullptr);
+  EXPECT_DOUBLE_EQ(acquire->mean_us, 15.0);
+  const StageStats* decide = find_stage(r, "decide");
+  ASSERT_NE(decide, nullptr);
+  EXPECT_DOUBLE_EQ(decide->mean_us, 25.0);
+  const StageStats* wire_out = find_stage(r, "wire_out");
+  ASSERT_NE(wire_out, nullptr);
+  EXPECT_DOUBLE_EQ(wire_out->mean_us, 20.0);
+
+  EXPECT_EQ(r.deadline_hits, 2u);
+  ASSERT_EQ(r.deadline_misses.size(), 2u);
+  EXPECT_EQ(r.deadline_misses.at("pair_acquire"), 2u);
+  EXPECT_EQ(r.deadline_misses.at("reply_write"), 1u);
+}
+
+TEST(TraceMerge, MergedDocumentRebasesBothProcesses) {
+  const TraceMergeResult r = merge_traces(kClientTrace, kServerTrace);
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto doc = json::parse(r.merged_json);
+  ASSERT_TRUE(doc.has_value());
+  const json::Value* other = doc->find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->find("t0_steady_ns")->string, "1000000");  // min of t0s
+
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // 2 process_name metadata records + every source event, both files.
+  ASSERT_EQ(events->array.size(), 2u + 3u + 16u);
+
+  bool saw_client_pid = false, saw_server_pid = false;
+  double client_cc_ts = -1.0;
+  for (const json::Value& e : events->array) {
+    const json::Value* ph = e.find("ph");
+    if (ph != nullptr && ph->string == "M") continue;
+    const double pid = e.find("pid")->number;
+    if (pid == 1.0) saw_client_pid = true;
+    if (pid == 2.0) saw_server_pid = true;
+    const json::Value* args = e.find("args");
+    if (pid == 1.0 && args != nullptr && args->find("trace_id") != nullptr &&
+        args->find("trace_id")->string == "00000000000000cc") {
+      client_cc_ts = e.find("ts")->number;
+    }
+  }
+  EXPECT_TRUE(saw_client_pid);
+  EXPECT_TRUE(saw_server_pid);
+  // Client event at local ts=400 lands at 1400 after the +1000 us rebase.
+  EXPECT_DOUBLE_EQ(client_cc_ts, 1400.0);
+}
+
+TEST(TraceMerge, SummarySchemaAndAttributionBlock) {
+  const TraceMergeResult r = merge_traces(kClientTrace, kServerTrace);
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto doc = json::parse(r.summary_json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("schema")->string, "ftl.obs.trace_summary/v1");
+  EXPECT_EQ(doc->find("traces")->find("joined")->number, 2.0);
+
+  const json::Value* attribution = doc->find("attribution");
+  ASSERT_NE(attribution, nullptr);
+  const json::Value* components = attribution->find("components");
+  ASSERT_NE(components, nullptr);
+  ASSERT_EQ(components->array.size(), 6u);  // socket_read excluded
+  for (const json::Value& c : components->array) {
+    EXPECT_NE(c.string, "socket_read");
+  }
+  EXPECT_DOUBLE_EQ(attribution->find("attributed_fraction")->number, 1.0);
+
+  const json::Value* deadline = doc->find("deadline");
+  ASSERT_NE(deadline, nullptr);
+  EXPECT_EQ(deadline->find("hits")->number, 2.0);
+  EXPECT_EQ(deadline->find("total_misses")->number, 3.0);
+  EXPECT_EQ(deadline->find("misses")->find("pair_acquire")->number, 2.0);
+}
+
+TEST(TraceMerge, RejectsMalformedInputs) {
+  TraceMergeResult r = merge_traces("not json", kServerTrace);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("client trace"), std::string::npos);
+
+  r = merge_traces(kClientTrace, "{\"traceEvents\": []}");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("t0_steady_ns"), std::string::npos);
+
+  r = merge_traces("{\"otherData\": {\"t0_steady_ns\": \"5\"}}",
+                   kServerTrace);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceMerge, EmptyJoinIsOkWithZeroedAttribution) {
+  // Valid traces that share no trace ids: merge succeeds, attribution
+  // stays zero instead of dividing by an empty mean.
+  const char* lonely_client = R"({
+    "otherData": {"t0_steady_ns": "1000"},
+    "traceEvents": [
+      {"name": "batch_rtt", "ph": "X", "ts": 0, "dur": 10,
+       "args": {"trace_id": "00000000000000ee"}}
+    ]
+  })";
+  const TraceMergeResult r = merge_traces(lonely_client, kServerTrace);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.traces_joined, 0u);
+  EXPECT_DOUBLE_EQ(r.attributed_fraction, 0.0);
+  EXPECT_EQ(r.rtt.count, 0u);
+}
+
+}  // namespace

@@ -19,6 +19,14 @@
 //   ftlbench export <run_report.json> [--prefix=ftl_]
 //       Re-serializes a run report's metrics in the Prometheus text
 //       exposition format on stdout (pushgateway / textfile collector).
+//
+//   ftlbench trace-merge <client_trace.json> <server_trace.json>
+//                [--out=merged.json] [--summary-out=summary.json]
+//       Joins a loadgen trace and a ftlcoordd trace by trace id onto one
+//       steady-clock timeline. --out writes the merged Chrome/Perfetto
+//       document; --summary-out writes the ftl.obs.trace_summary/v1
+//       stage-attribution JSON (also printed to stdout when neither flag
+//       is given).
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -29,6 +37,7 @@
 
 #include "ftlbench/compare.hpp"
 #include "ftlbench/runner.hpp"
+#include "ftlbench/tracemerge.hpp"
 #include "ftlbench/trajectory.hpp"
 #include "obs/export.hpp"
 #include "util/args.hpp"
@@ -49,7 +58,9 @@ int usage(std::ostream& out) {
          "               [--metric=wall_time_s[,...]] [--threshold=1.25]\n"
          "               [--confidence=0.95] [--resamples=2000] "
          "[--boot-seed=1]\n"
-         "  ftlbench export <run_report.json> [--prefix=ftl_]\n";
+         "  ftlbench export <run_report.json> [--prefix=ftl_]\n"
+         "  ftlbench trace-merge <client_trace.json> <server_trace.json>\n"
+         "               [--out=merged.json] [--summary-out=summary.json]\n";
   return 2;
 }
 
@@ -201,6 +212,61 @@ int cmd_export(const util::Args& args) {
   return 0;
 }
 
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool spill(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text << '\n';
+  return static_cast<bool>(out);
+}
+
+int cmd_trace_merge(const util::Args& args) {
+  if (args.positional().size() != 3) {  // "trace-merge" + two paths
+    std::cerr << "ftlbench trace-merge: need <client_trace> <server_trace>\n";
+    return 2;
+  }
+  const std::optional<std::string> client = slurp(args.positional()[1]);
+  const std::optional<std::string> server = slurp(args.positional()[2]);
+  if (!client || !server) {
+    std::cerr << "ftlbench trace-merge: cannot read "
+              << (!client ? args.positional()[1] : args.positional()[2])
+              << "\n";
+    return 2;
+  }
+  const TraceMergeResult merged = merge_traces(*client, *server);
+  if (!merged.ok) {
+    std::cerr << "ftlbench trace-merge: " << merged.error << "\n";
+    return 2;
+  }
+  const std::string out_path = args.get("out", std::string());
+  const std::string summary_path = args.get("summary-out", std::string());
+  if (!out_path.empty() && !spill(out_path, merged.merged_json)) {
+    std::cerr << "ftlbench trace-merge: cannot write " << out_path << "\n";
+    return 2;
+  }
+  if (!summary_path.empty() && !spill(summary_path, merged.summary_json)) {
+    std::cerr << "ftlbench trace-merge: cannot write " << summary_path << "\n";
+    return 2;
+  }
+  if (out_path.empty() && summary_path.empty()) {
+    std::cout << merged.summary_json << "\n";
+  } else {
+    std::cerr << "trace-merge: joined " << merged.traces_joined << " of "
+              << merged.traces_client << " client / " << merged.traces_server
+              << " server traces; mean RTT " << merged.rtt.mean_us
+              << " us, attributed fraction " << merged.attributed_fraction
+              << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -210,6 +276,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(args);
   if (cmd == "compare") return cmd_compare(args);
   if (cmd == "export") return cmd_export(args);
+  if (cmd == "trace-merge") return cmd_trace_merge(args);
   std::cerr << "ftlbench: unknown command '" << cmd << "'\n";
   return usage(std::cerr);
 }

@@ -1,0 +1,423 @@
+#include "ftlbench/tracemerge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/json.hpp"
+
+namespace ftl::benchtool {
+
+namespace {
+
+namespace json = ftl::obs::json;
+
+/// One trace file, decoded just far enough to merge: the steady-clock
+/// origin and a flat view of its events.
+struct TraceDoc {
+  std::uint64_t t0_steady_ns = 0;
+  const json::Value* events = nullptr;  // traceEvents array
+};
+
+bool parse_doc(const json::Value& root, TraceDoc& out, std::string& error,
+               const char* which) {
+  if (!root.is_object()) {
+    error = std::string(which) + ": not a JSON object";
+    return false;
+  }
+  const json::Value* other = root.find("otherData");
+  const json::Value* t0 = other != nullptr ? other->find("t0_steady_ns")
+                                           : nullptr;
+  if (t0 == nullptr || !t0->is_string()) {
+    error = std::string(which) +
+            ": missing otherData.t0_steady_ns (trace written by an older "
+            "tracer, or not an ftl trace)";
+    return false;
+  }
+  out.t0_steady_ns = std::strtoull(t0->string.c_str(), nullptr, 10);
+  const json::Value* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    error = std::string(which) + ": missing traceEvents array";
+    return false;
+  }
+  out.events = events;
+  return true;
+}
+
+double num_or(const json::Value* v, double fallback) {
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string str_or(const json::Value* v, const char* fallback) {
+  return v != nullptr && v->is_string() ? v->string : std::string(fallback);
+}
+
+/// args.<key> as a string; empty when absent.
+std::string arg_str(const json::Value& event, const char* key) {
+  const json::Value* args = event.find("args");
+  if (args == nullptr) return {};
+  const json::Value* v = args->find(key);
+  return v != nullptr && v->is_string() ? v->string : std::string();
+}
+
+struct Span {
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  bool present = false;
+};
+
+/// Everything the server recorded about one trace id.
+struct ServerTrace {
+  Span stages[5];  // socket_read, admission, pair_acquire, decide, reply_write
+};
+
+int stage_index(const std::string& name) {
+  static const char* kNames[5] = {"socket_read", "admission", "pair_acquire",
+                                  "decide", "reply_write"};
+  for (int i = 0; i < 5; ++i) {
+    if (name == kNames[i]) return i;
+  }
+  return -1;
+}
+
+/// Re-emits a parsed JSON value verbatim (args pass-through in the merged
+/// document).
+void write_value(json::Writer& w, const json::Value& v) {
+  switch (v.kind) {
+    case json::Value::Kind::kNull:
+      w.null();
+      break;
+    case json::Value::Kind::kBool:
+      w.value(v.boolean);
+      break;
+    case json::Value::Kind::kNumber:
+      w.value(v.number);
+      break;
+    case json::Value::Kind::kString:
+      w.value(v.string);
+      break;
+    case json::Value::Kind::kArray:
+      w.begin_array();
+      for (const json::Value& e : v.array) write_value(w, e);
+      w.end_array();
+      break;
+    case json::Value::Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, e] : v.object) {
+        w.key(k);
+        write_value(w, e);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+void emit_process_name(json::Writer& w, int pid, const char* name) {
+  w.begin_object();
+  w.key("name");
+  w.value("process_name");
+  w.key("ph");
+  w.value("M");
+  w.key("pid");
+  w.value(pid);
+  w.key("tid");
+  w.value(0);
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value(name);
+  w.end_object();
+  w.end_object();
+}
+
+/// Copies one source event into the merged stream under `pid`, with its
+/// timestamp shifted by `offset_us` onto the common timeline.
+void emit_shifted(json::Writer& w, const json::Value& e, int pid,
+                  double offset_us) {
+  w.begin_object();
+  w.key("name");
+  w.value(str_or(e.find("name"), ""));
+  w.key("cat");
+  w.value(str_or(e.find("cat"), "ftl"));
+  const std::string ph = str_or(e.find("ph"), "X");
+  w.key("ph");
+  w.value(ph);
+  w.key("ts");
+  w.value(num_or(e.find("ts"), 0.0) + offset_us);
+  if (ph == "X") {
+    w.key("dur");
+    w.value(num_or(e.find("dur"), 0.0));
+  } else if (const json::Value* s = e.find("s")) {
+    w.key("s");
+    write_value(w, *s);
+  }
+  w.key("pid");
+  w.value(pid);
+  w.key("tid");
+  w.value(num_or(e.find("tid"), 0.0));
+  if (const json::Value* args = e.find("args")) {
+    w.key("args");
+    write_value(w, *args);
+  }
+  w.end_object();
+}
+
+StageStats digest(std::string name, std::vector<double>& samples) {
+  StageStats s;
+  s.name = std::move(name);
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  s.mean_us = sum / static_cast<double>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  const auto q = [&](double p) {
+    const double idx = p * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  s.p50_us = q(0.50);
+  s.p95_us = q(0.95);
+  s.p99_us = q(0.99);
+  return s;
+}
+
+void emit_stage(json::Writer& w, const StageStats& s) {
+  w.begin_object();
+  w.key("name");
+  w.value(s.name);
+  w.key("count");
+  w.value(static_cast<std::uint64_t>(s.count));
+  w.key("mean_us");
+  w.value(s.mean_us);
+  w.key("p50_us");
+  w.value(s.p50_us);
+  w.key("p95_us");
+  w.value(s.p95_us);
+  w.key("p99_us");
+  w.value(s.p99_us);
+  w.end_object();
+}
+
+}  // namespace
+
+TraceMergeResult merge_traces(const std::string& client_json,
+                              const std::string& server_json) {
+  TraceMergeResult out;
+
+  const std::optional<json::Value> client_root = json::parse(client_json);
+  if (!client_root) {
+    out.error = "client trace: JSON parse failed";
+    return out;
+  }
+  const std::optional<json::Value> server_root = json::parse(server_json);
+  if (!server_root) {
+    out.error = "server trace: JSON parse failed";
+    return out;
+  }
+  TraceDoc client, server;
+  if (!parse_doc(*client_root, client, out.error, "client trace") ||
+      !parse_doc(*server_root, server, out.error, "server trace")) {
+    return out;
+  }
+  out.client_events = client.events->array.size();
+  out.server_events = server.events->array.size();
+
+  // Common timeline: the earlier tracer start is the origin; each file's
+  // events shift by its start's distance from it (microseconds, matching
+  // trace-event `ts` units).
+  const std::uint64_t base_ns =
+      std::min(client.t0_steady_ns, server.t0_steady_ns);
+  const double client_off_us =
+      static_cast<double>(client.t0_steady_ns - base_ns) / 1000.0;
+  const double server_off_us =
+      static_cast<double>(server.t0_steady_ns - base_ns) / 1000.0;
+
+  // Index the client's batch spans and the server's stage spans by trace
+  // id (the 16-hex-digit string form is the key — no need to re-parse).
+  std::map<std::string, Span> client_batches;
+  for (const json::Value& e : client.events->array) {
+    if (str_or(e.find("name"), "") != "batch_rtt") continue;
+    const std::string tid = arg_str(e, "trace_id");
+    if (tid.empty()) continue;
+    Span& span = client_batches[tid];
+    if (!span.present) {
+      span = {num_or(e.find("ts"), 0.0), num_or(e.find("dur"), 0.0), true};
+    }
+  }
+  out.traces_client = client_batches.size();
+
+  std::map<std::string, ServerTrace> server_traces;
+  for (const json::Value& e : server.events->array) {
+    const std::string name = str_or(e.find("name"), "");
+    const std::string tid = arg_str(e, "trace_id");
+    if (name == "deadline_hit") {
+      ++out.deadline_hits;
+      continue;
+    }
+    if (name == "deadline_miss") {
+      ++out.deadline_misses[arg_str(e, "stage")];
+      continue;
+    }
+    if (tid.empty()) continue;
+    const int idx = stage_index(name);
+    if (idx < 0) {
+      if (name == "serve_batch") server_traces[tid];  // count the trace
+      continue;
+    }
+    Span& span = server_traces[tid].stages[idx];
+    if (!span.present) {
+      span = {num_or(e.find("ts"), 0.0), num_or(e.find("dur"), 0.0), true};
+    }
+  }
+  out.traces_server = server_traces.size();
+
+  // Join and decompose. The six attribution components partition the RTT:
+  // rtt = wire_in + admission + pair_acquire + decide + reply_write
+  //       + wire_out, all measured on the rebased common timeline.
+  std::vector<double> samples_rtt;
+  std::vector<double> samples[7];  // wire_in, 5 server stages, wire_out
+  std::vector<double> samples_sum;
+  for (const auto& [tid, batch] : client_batches) {
+    const auto it = server_traces.find(tid);
+    if (it == server_traces.end()) continue;
+    const ServerTrace& st = it->second;
+    bool complete = true;
+    for (int i = 1; i < 5; ++i) complete = complete && st.stages[i].present;
+    if (!complete) continue;
+    ++out.traces_joined;
+
+    const double client_start = batch.ts_us + client_off_us;
+    const double client_end = client_start + batch.dur_us;
+    const double admission_start = st.stages[1].ts_us + server_off_us;
+    const double write_end =
+        st.stages[4].ts_us + st.stages[4].dur_us + server_off_us;
+
+    const double wire_in = admission_start - client_start;
+    const double wire_out = client_end - write_end;
+    samples[0].push_back(wire_in);
+    if (st.stages[0].present) samples[1].push_back(st.stages[0].dur_us);
+    double server_sum = 0.0;
+    for (int i = 1; i < 5; ++i) {
+      samples[1 + i].push_back(st.stages[i].dur_us);
+      server_sum += st.stages[i].dur_us;
+    }
+    samples[6].push_back(wire_out);
+    samples_rtt.push_back(batch.dur_us);
+    samples_sum.push_back(wire_in + server_sum + wire_out);
+  }
+
+  static const char* kComponentNames[7] = {
+      "wire_in",      "socket_read", "admission", "pair_acquire",
+      "decide",       "reply_write", "wire_out"};
+  for (int i = 0; i < 7; ++i) {
+    out.stages.push_back(digest(kComponentNames[i], samples[i]));
+  }
+  out.rtt = digest("rtt", samples_rtt);
+  if (!samples_sum.empty()) {
+    double sum = 0.0;
+    for (const double x : samples_sum) sum += x;
+    out.mean_attributed_us = sum / static_cast<double>(samples_sum.size());
+    if (out.rtt.mean_us > 0.0) {
+      out.attributed_fraction = out.mean_attributed_us / out.rtt.mean_us;
+    }
+  }
+
+  // Merged Perfetto document: client = pid 1, server = pid 2.
+  {
+    json::Writer w;
+    w.begin_object();
+    w.key("displayTimeUnit");
+    w.value("ms");
+    w.key("otherData");
+    w.begin_object();
+    w.key("t0_steady_ns");
+    w.value(std::to_string(base_ns));
+    w.key("merged_from");
+    w.begin_array();
+    w.value("loadgen");
+    w.value("ftlcoordd");
+    w.end_array();
+    w.end_object();
+    w.key("traceEvents");
+    w.begin_array();
+    emit_process_name(w, 1, "loadgen");
+    emit_process_name(w, 2, "ftlcoordd");
+    for (const json::Value& e : client.events->array) {
+      emit_shifted(w, e, 1, client_off_us);
+    }
+    for (const json::Value& e : server.events->array) {
+      emit_shifted(w, e, 2, server_off_us);
+    }
+    w.end_array();
+    w.end_object();
+    out.merged_json = w.take();
+  }
+
+  // Attribution summary.
+  {
+    json::Writer w;
+    w.begin_object();
+    w.key("schema");
+    w.value("ftl.obs.trace_summary/v1");
+    w.key("client_events");
+    w.value(static_cast<std::uint64_t>(out.client_events));
+    w.key("server_events");
+    w.value(static_cast<std::uint64_t>(out.server_events));
+    w.key("traces");
+    w.begin_object();
+    w.key("client");
+    w.value(static_cast<std::uint64_t>(out.traces_client));
+    w.key("server");
+    w.value(static_cast<std::uint64_t>(out.traces_server));
+    w.key("joined");
+    w.value(static_cast<std::uint64_t>(out.traces_joined));
+    w.end_object();
+    w.key("stages");
+    w.begin_array();
+    for (const StageStats& s : out.stages) emit_stage(w, s);
+    w.end_array();
+    w.key("rtt");
+    emit_stage(w, out.rtt);
+    w.key("attribution");
+    w.begin_object();
+    w.key("components");
+    w.begin_array();
+    for (int i = 0; i < 7; ++i) {
+      if (i != 1) w.value(kComponentNames[i]);  // socket_read excluded
+    }
+    w.end_array();
+    w.key("mean_sum_us");
+    w.value(out.mean_attributed_us);
+    w.key("mean_rtt_us");
+    w.value(out.rtt.mean_us);
+    w.key("attributed_fraction");
+    w.value(out.attributed_fraction);
+    w.end_object();
+    w.key("deadline");
+    w.begin_object();
+    w.key("hits");
+    w.value(out.deadline_hits);
+    std::uint64_t total_misses = 0;
+    for (const auto& [stage, n] : out.deadline_misses) total_misses += n;
+    w.key("total_misses");
+    w.value(total_misses);
+    w.key("misses");
+    w.begin_object();
+    for (const auto& [stage, n] : out.deadline_misses) {
+      w.key(stage);
+      w.value(n);
+    }
+    w.end_object();
+    w.end_object();
+    w.end_object();
+    out.summary_json = w.take();
+  }
+
+  out.ok = true;
+  return out;
+}
+
+}  // namespace ftl::benchtool

@@ -1,0 +1,74 @@
+// trace-merge: join a loadgen trace and a ftlcoordd trace into one
+// cross-process timeline plus a stage-attribution summary.
+//
+// Both processes run on one host and share the steady clock, and each
+// trace file records its tracer's start position on that clock
+// (`otherData.t0_steady_ns`). Re-basing every event onto the earlier of
+// the two origins therefore needs no clock synchronization at all: the
+// merged document is a plain Chrome/Perfetto trace where the client's
+// batch_rtt span (pid 1) visually contains the daemon's serve_batch and
+// stage spans (pid 2) for the same trace id.
+//
+// The summary answers the attribution question directly: for every trace
+// id present in BOTH files, the batch round trip is decomposed into
+//   wire_in | admission | pair_acquire | decide | reply_write | wire_out
+// where wire_in runs from the client's send to the start of the daemon's
+// admission stage (fiber + socket read) and wire_out from the end of the
+// daemon's reply write back to the client's receive. The six components
+// partition the RTT by construction, so their mean sum over joined traces
+// matches the mean RTT — `attributed_fraction` reports how closely, and a
+// value off 1.0 flags traces whose spans were dropped or truncated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ftl::benchtool {
+
+/// Percentile digest of one latency component over the joined traces.
+struct StageStats {
+  std::string name;
+  std::size_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct TraceMergeResult {
+  bool ok = false;
+  std::string error;
+
+  std::size_t client_events = 0;
+  std::size_t server_events = 0;
+  std::size_t traces_client = 0;  ///< distinct trace ids in the client file
+  std::size_t traces_server = 0;  ///< distinct trace ids in the server file
+  std::size_t traces_joined = 0;  ///< present in both (fully, all stages)
+
+  /// Attribution components (wire_in, the four server stages, wire_out)
+  /// plus socket_read (reported, but excluded from the attribution sum:
+  /// the daemon's read stage starts when the *previous* reply finished,
+  /// so under pipelining it overlaps client-side pacing, and its span is
+  /// already covered by wire_in from the client's send onward).
+  std::vector<StageStats> stages;
+  StageStats rtt;  ///< client-side batch round trip
+
+  double mean_attributed_us = 0.0;  ///< mean sum of the six components
+  double attributed_fraction = 0.0;
+
+  std::uint64_t deadline_hits = 0;
+  std::map<std::string, std::uint64_t> deadline_misses;  ///< by stage
+
+  std::string merged_json;   ///< Chrome/Perfetto trace document
+  std::string summary_json;  ///< ftl.obs.trace_summary/v1 document
+};
+
+/// Merges two trace documents (client = loadgen, server = ftlcoordd).
+/// Inputs are the raw JSON texts; on any structural problem `ok` is false
+/// and `error` says what was missing.
+[[nodiscard]] TraceMergeResult merge_traces(const std::string& client_json,
+                                            const std::string& server_json);
+
+}  // namespace ftl::benchtool

@@ -3,22 +3,64 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <string>
 
 #include "ftlcoordd/net.hpp"
 #include "ftlcoordd/protocol.hpp"
 #include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace ftl::coordd {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// Serving-path decision latency: per-decision cost of a batched decide,
 /// dominated by the broker pool operation (tens of ns) — the histogram's
 /// upper edge leaves room for scheduling noise.
 constexpr double kLatencyHistHi = 50e-6;
 
+/// Per-batch stage times run from sub-microsecond (admission) to hundreds
+/// of microseconds (socket read on a loaded wire); 2 ms of range keeps the
+/// tail visible without washing out the bulk.
+constexpr double kStageHistHiUs = 2000.0;
+constexpr std::size_t kStageHistBins = 80;
+
+/// Sliding window: 10 one-second epochs, so the /metrics windowed
+/// percentile gauges describe roughly the last ten seconds of traffic.
+constexpr std::size_t kWindowEpochs = 10;
+constexpr std::chrono::milliseconds kWindowEpochLen{1000};
+
+/// Span labels for deterministic child span ids: 0 is the server root
+/// span, stages follow at 1 + stage index.
+constexpr std::uint64_t kRootSpanLabel = 0;
+
+std::uint64_t steady_ns(Clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
 }  // namespace
+
+const char* stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::kSocketRead:
+      return "socket_read";
+    case Stage::kAdmission:
+      return "admission";
+    case Stage::kPairAcquire:
+      return "pair_acquire";
+    case Stage::kDecide:
+      return "decide";
+    case Stage::kReplyWrite:
+      return "reply_write";
+  }
+  return "unknown";
+}
 
 Daemon::Daemon(const DaemonConfig& cfg)
     : cfg_(cfg),
@@ -29,7 +71,19 @@ Daemon::Daemon(const DaemonConfig& cfg)
       m_decision_latency_(obs::registry().histogram(
           "qnet.live.decision_latency_s", 0.0, kLatencyHistHi, 50)),
       m_batch_size_(obs::registry().histogram("qnet.live.batch_size", 0.0,
-                                              4096.0, 64)) {}
+                                              4096.0, 64)),
+      m_deadline_hit_(obs::registry().counter("coordd.deadline.hit")) {
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const obs::Labels labels{{"stage", stage_name(static_cast<Stage>(i))}};
+    m_stage_us_[i] = &obs::registry().histogram(
+        "coordd.stage_us", 0.0, kStageHistHiUs, kStageHistBins, labels);
+    m_stage_window_[i] = std::make_unique<obs::SlidingHistogram>(
+        "coordd.stage_us", 0.0, kStageHistHiUs, kStageHistBins, kWindowEpochs,
+        kWindowEpochLen, nullptr, labels);
+    m_deadline_miss_[i] =
+        &obs::registry().counter("coordd.deadline.miss", labels);
+  }
+}
 
 Daemon::~Daemon() { stop(); }
 
@@ -78,6 +132,15 @@ void Daemon::stop() {
     if (h.joinable()) h.join();
   }
   broker_->stop_producer();
+  // Final window flush so a run report written right after stop() carries
+  // the last live percentiles instead of stale gauges.
+  flush_stage_windows();
+}
+
+void Daemon::flush_stage_windows() {
+  for (auto& w : m_stage_window_) {
+    if (w) w->flush();
+  }
 }
 
 void Daemon::track_fd(int fd) {
@@ -122,10 +185,22 @@ void Daemon::metrics_loop() {
 
 void Daemon::serve_metrics_once(int fd) {
   // Minimal HTTP/1.0: read (and discard) whatever request arrived, answer
-  // with the text exposition, close. Enough for curl and Prometheus.
+  // with the text exposition, close. Enough for curl and Prometheus. The
+  // request read retries EINTR; the response goes through write_full,
+  // which loops over partial writes and sends with MSG_NOSIGNAL so a
+  // scraper hanging up mid-body surfaces as EPIPE, not a fatal SIGPIPE —
+  // large registries (many labeled histograms) routinely exceed one
+  // socket buffer, so partial writes are the common case here.
   char buf[1024];
-  (void)::read(fd, buf, sizeof buf);
+  ssize_t got;
+  do {
+    got = ::read(fd, buf, sizeof buf);
+  } while (got < 0 && errno == EINTR);
   m_scrapes_.inc();
+  // Publish fresh windowed percentiles before snapshotting, so every
+  // scrape sees the last ~10 s of stage latency, not gauges from the
+  // previous scrape.
+  flush_stage_windows();
   const std::string body = obs::prometheus_text(obs::registry().snapshot());
   const std::string response =
       "HTTP/1.0 200 OK\r\n"
@@ -135,10 +210,146 @@ void Daemon::serve_metrics_once(int fd) {
   (void)write_full(fd, response.data(), response.size());
 }
 
+bool Daemon::handle_decide(int fd, DecideRequestV2& req,
+                           Clock::time_point t_loop,
+                           Clock::time_point t_read,
+                           std::vector<DecisionEntry>& entries,
+                           std::vector<qnet::LiveBroker::Decision>& decisions) {
+  const std::size_t n = req.inputs.size();
+  m_batch_size_.observe(static_cast<double>(n));
+  if (n == 0 || !broker_->try_admit(n)) {
+    // Bounded-queue backpressure: refuse the whole batch; the client
+    // retries after backing off (or sheds load).
+    return write_frame(fd, encode_status_response(Status::kRejected));
+  }
+  const auto t_admit = Clock::now();
+
+  decisions.clear();
+  decisions.reserve(n);
+  for (const std::uint8_t input : req.inputs) {
+    decisions.push_back(broker_->decide_now(req.source, input));
+  }
+  broker_->release(n);
+  const auto t_acquire = Clock::now();
+
+  entries.clear();
+  entries.reserve(n);
+  for (const auto& d : decisions) {
+    DecisionEntry e;
+    if (d.output != 0) e.flags |= DecisionEntry::kOutputBit;
+    if (d.quantum) e.flags |= DecisionEntry::kQuantumBit;
+    if (d.round_won) e.flags |= DecisionEntry::kRoundWonBit;
+    e.win_q = static_cast<std::uint16_t>(
+        std::min(65535.0, d.win_probability * 65535.0 + 0.5));
+    entries.push_back(e);
+  }
+  const auto t_decide = Clock::now();
+
+  // Deadline attribution: the budget runs from the client's send
+  // timestamp (same steady clock — localhost only); the miss belongs to
+  // the first stage whose *end* saw the budget exhausted. Decisions
+  // already late at the end of the decide stage carry kDeadlineMissBit
+  // back to the client; a miss that only happens inside reply_write is
+  // counted server-side but the bits are already on the wire.
+  const bool has_deadline =
+      req.deadline_us > 0 && req.client_send_steady_ns > 0;
+  const std::uint64_t deadline_ns =
+      req.client_send_steady_ns +
+      static_cast<std::uint64_t>(req.deadline_us) * 1000u;
+  int miss_stage = -1;
+  if (has_deadline) {
+    const Clock::time_point boundaries[4] = {t_read, t_admit, t_acquire,
+                                             t_decide};
+    for (int i = 0; i < 4; ++i) {
+      if (steady_ns(boundaries[i]) > deadline_ns) {
+        miss_stage = i;
+        break;
+      }
+    }
+    if (miss_stage >= 0) {
+      for (DecisionEntry& e : entries) {
+        e.flags |= DecisionEntry::kDeadlineMissBit;
+      }
+    }
+  }
+
+  const bool write_ok = write_frame(fd, encode_decide_response(entries));
+  const auto t_write = Clock::now();
+
+  if (has_deadline) {
+    if (miss_stage < 0 && steady_ns(t_write) > deadline_ns) {
+      miss_stage = static_cast<int>(Stage::kReplyWrite);
+    }
+    if (miss_stage >= 0) {
+      m_deadline_miss_[miss_stage]->inc();
+    } else {
+      m_deadline_hit_.inc();
+    }
+  }
+
+  // Stage latency, cumulative and windowed. One weighted observation per
+  // decision keeps qnet.live.decision_latency_s per-decision.
+  const double stage_us[kNumStages] = {
+      std::chrono::duration<double, std::micro>(t_read - t_loop).count(),
+      std::chrono::duration<double, std::micro>(t_admit - t_read).count(),
+      std::chrono::duration<double, std::micro>(t_acquire - t_admit).count(),
+      std::chrono::duration<double, std::micro>(t_decide - t_acquire).count(),
+      std::chrono::duration<double, std::micro>(t_write - t_decide).count()};
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    m_stage_us_[i]->observe(stage_us[i]);
+    m_stage_window_[i]->observe(stage_us[i]);
+  }
+  const double per_decision_s =
+      std::chrono::duration<double>(t_acquire - t_admit).count() /
+      static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m_decision_latency_.observe(per_decision_s);
+  }
+
+  // Stage spans for sampled traced batches: a server root span parented to
+  // the client's batch span, one child per stage. Ids derive from the
+  // propagated context, so they are stable for a stepped schedule.
+  obs::Tracer& tracer = obs::tracer();
+  if (req.trace_id != 0 && cfg_.trace_sample_n > 0 && tracer.active() &&
+      traced_batches_.fetch_add(1, std::memory_order_relaxed) %
+              cfg_.trace_sample_n ==
+          0) {
+    const obs::TraceContext client_ctx{req.trace_id, req.parent_span_id};
+    const obs::TraceContext root = client_ctx.child(kRootSpanLabel);
+    tracer.record_span("serve_batch", "coordd", tracer.ts_us(t_loop),
+                       std::chrono::duration<double, std::micro>(t_write -
+                                                                 t_loop)
+                           .count(),
+                       root.trace_id, root.span_id, client_ctx.span_id);
+    const Clock::time_point starts[kNumStages] = {t_loop, t_read, t_admit,
+                                                  t_acquire, t_decide};
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+      tracer.record_span(stage_name(static_cast<Stage>(i)), "coordd",
+                         tracer.ts_us(starts[i]), stage_us[i], root.trace_id,
+                         root.child_span_id(1 + i), root.span_id);
+    }
+    if (has_deadline) {
+      if (miss_stage >= 0) {
+        tracer.record_instant_tagged(
+            "deadline_miss", "coordd", root.trace_id,
+            stage_name(static_cast<Stage>(miss_stage)));
+      } else {
+        tracer.record_instant_tagged("deadline_hit", "coordd", root.trace_id,
+                                     "none");
+      }
+    }
+  }
+  return write_ok;
+}
+
 void Daemon::handle_connection(int fd) {
   std::vector<std::uint8_t> payload;
   std::vector<DecisionEntry> entries;
-  while (!stopping_.load() && read_frame(fd, payload)) {
+  std::vector<qnet::LiveBroker::Decision> decisions;
+  while (!stopping_.load()) {
+    const auto t_loop = Clock::now();
+    if (!read_frame(fd, payload)) break;
+    const auto t_read = Clock::now();
     m_frames_.inc();
     ByteReader r(payload.data(), payload.size());
     const auto type = static_cast<MsgType>(r.u8());
@@ -148,50 +359,30 @@ void Daemon::handle_connection(int fd) {
       continue;
     }
     switch (type) {
-      case MsgType::kDecide: {
-        const auto req = decode_decide_request(r);
-        if (!req || req->source >= cfg_.broker.sources) {
+      case MsgType::kDecide:
+      case MsgType::kDecideV2: {
+        // Both protocol versions funnel into the same pipeline; a v1
+        // frame simply has no trace context and no deadline.
+        DecideRequestV2 req;
+        bool decoded = false;
+        if (type == MsgType::kDecide) {
+          if (auto v1 = decode_decide_request(r)) {
+            req.source = v1->source;
+            req.inputs = std::move(v1->inputs);
+            decoded = true;
+          }
+        } else if (auto v2 = decode_decide_request_v2(r)) {
+          req = std::move(*v2);
+          decoded = true;
+        }
+        if (!decoded || req.source >= cfg_.broker.sources) {
           m_malformed_.inc();
           if (!write_frame(fd, encode_status_response(Status::kMalformed))) {
             return cleanup(fd);
           }
           break;
         }
-        const std::size_t n = req->inputs.size();
-        m_batch_size_.observe(static_cast<double>(n));
-        if (n == 0 || !broker_->try_admit(n)) {
-          // Bounded-queue backpressure: refuse the whole batch; the client
-          // retries after backing off (or sheds load).
-          if (!write_frame(fd, encode_status_response(Status::kRejected))) {
-            return cleanup(fd);
-          }
-          break;
-        }
-        const auto t0 = std::chrono::steady_clock::now();
-        entries.clear();
-        entries.reserve(n);
-        for (const std::uint8_t input : req->inputs) {
-          const auto d = broker_->decide_now(req->source, input);
-          DecisionEntry e;
-          if (d.output != 0) e.flags |= DecisionEntry::kOutputBit;
-          if (d.quantum) e.flags |= DecisionEntry::kQuantumBit;
-          if (d.round_won) e.flags |= DecisionEntry::kRoundWonBit;
-          e.win_q = static_cast<std::uint16_t>(
-              std::min(65535.0, d.win_probability * 65535.0 + 0.5));
-          entries.push_back(e);
-        }
-        broker_->release(n);
-        const double per_decision_s =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0)
-                .count() /
-            static_cast<double>(n);
-        // One weighted observation per decision keeps the histogram's
-        // percentiles per-decision, not per-batch.
-        for (std::size_t i = 0; i < n; ++i) {
-          m_decision_latency_.observe(per_decision_s);
-        }
-        if (!write_frame(fd, encode_decide_response(entries))) {
+        if (!handle_decide(fd, req, t_loop, t_read, entries, decisions)) {
           return cleanup(fd);
         }
         break;

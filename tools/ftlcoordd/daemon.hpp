@@ -23,10 +23,26 @@
 #include <thread>
 #include <vector>
 
+#include "ftlcoordd/protocol.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spanctx.hpp"
 #include "qnet/live_broker.hpp"
 
 namespace ftl::coordd {
+
+/// Decision-pipeline stages, in request order. Every batch is timed per
+/// stage (cumulative + sliding-window histograms), and a v2 request's
+/// deadline miss is attributed to the stage whose boundary first saw the
+/// budget exhausted.
+enum class Stage : std::uint8_t {
+  kSocketRead = 0,   ///< blocked in read_frame (wire + socket wait)
+  kAdmission = 1,    ///< decode + admission control
+  kPairAcquire = 2,  ///< broker decisions (pair acquire or fallback)
+  kDecide = 3,       ///< reply packing + deadline evaluation
+  kReplyWrite = 4,   ///< frame write back to the client
+};
+inline constexpr std::size_t kNumStages = 5;
+[[nodiscard]] const char* stage_name(Stage s) noexcept;
 
 struct DaemonConfig {
   /// Decide/report protocol port (0 = ephemeral; query via port()).
@@ -37,6 +53,10 @@ struct DaemonConfig {
   std::uint64_t seed = 42;
   /// Pair-pool refill cadence of the broker's producer thread.
   std::chrono::microseconds producer_period{200};
+  /// Record stage spans for 1 of every N *sampled* batches (batches whose
+  /// v2 frame carries a nonzero trace id). 0 disables span recording
+  /// entirely; stage histograms and deadline counters are always on.
+  std::uint64_t trace_sample_n = 1;
 };
 
 class Daemon {
@@ -65,7 +85,18 @@ class Daemon {
   void accept_loop();
   void metrics_loop();
   void handle_connection(int fd);
+  /// Runs one decide batch through the staged pipeline (admission → pair
+  /// acquire → decide → reply write), timing each stage, attributing any
+  /// deadline miss, and recording sampled stage spans. `t_loop`/`t_read`
+  /// bracket the socket-read stage. False when the connection died.
+  bool handle_decide(int fd, DecideRequestV2& req,
+                     std::chrono::steady_clock::time_point t_loop,
+                     std::chrono::steady_clock::time_point t_read,
+                     std::vector<DecisionEntry>& entries,
+                     std::vector<qnet::LiveBroker::Decision>& decisions);
   void serve_metrics_once(int fd);
+  /// Publishes fresh windowed percentile gauges from every stage window.
+  void flush_stage_windows();
   /// Untracks and closes a connection fd (end of its handler).
   void cleanup(int fd);
 
@@ -96,6 +127,20 @@ class Daemon {
   obs::Counter& m_scrapes_;
   obs::Histogram& m_decision_latency_;
   obs::Histogram& m_batch_size_;
+
+  // Per-stage latency: cumulative histograms (full-run distribution) and
+  // sliding windows (recent p50/p95/p99/p999 gauges on /metrics), both
+  // labeled stage=<name>. Indexed by Stage.
+  obs::Histogram* m_stage_us_[kNumStages];
+  std::unique_ptr<obs::SlidingHistogram> m_stage_window_[kNumStages];
+
+  // Deadline accounting (v2 requests with a nonzero budget): batches that
+  // met the budget through reply write, and misses attributed to the stage
+  // that exhausted it.
+  obs::Counter& m_deadline_hit_;
+  obs::Counter* m_deadline_miss_[kNumStages];
+
+  std::atomic<std::uint64_t> traced_batches_{0};
 };
 
 }  // namespace ftl::coordd

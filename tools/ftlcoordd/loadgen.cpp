@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "ftlcoordd/net.hpp"
+#include "obs/spanctx.hpp"
+#include "obs/trace.hpp"
 
 namespace ftl::coordd {
 
@@ -22,7 +24,17 @@ struct WorkerResult {
   std::uint64_t decisions_rejected = 0;
   std::uint64_t quantum = 0;
   std::uint64_t rounds_won = 0;
+  std::uint64_t deadline_missed = 0;
   util::Histogram latency{0.0, 0.05, 500};
+};
+
+/// What a worker remembers about each batch in flight: the send time for
+/// RTT, and the batch's trace context (zero ids when unsampled) so the
+/// client-side batch_rtt span can be recorded when the reply lands.
+struct InflightBatch {
+  Clock::time_point sent_at;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 void run_worker(const LoadgenConfig& cfg, std::size_t worker_idx,
@@ -37,14 +49,18 @@ void run_worker(const LoadgenConfig& cfg, std::size_t worker_idx,
       cfg.sources == 0 ? 0 : worker_idx % cfg.sources);
 
   // The batch content is static (alternating inputs): encode once, send
-  // many times. Input bits model the environment's game inputs.
-  DecideRequest req;
+  // many times. Input bits model the environment's game inputs. The frame
+  // only needs re-encoding per send when it carries per-send state — a
+  // fresh send timestamp (deadline runs) or a sampled trace context.
+  DecideRequestV2 req;
   req.source = source;
+  req.deadline_us = cfg.deadline_us;
   req.inputs.resize(cfg.batch);
   for (std::size_t i = 0; i < cfg.batch; ++i) {
     req.inputs[i] = static_cast<std::uint8_t>(i & 1u);
   }
-  const std::vector<std::uint8_t> frame = encode_decide_request(req);
+  const bool dynamic_frame = cfg.trace_sample_n > 0 || cfg.deadline_us > 0;
+  std::vector<std::uint8_t> frame = encode_decide_request_v2(req);
 
   // Open-loop departure schedule (per worker share of the offered rate),
   // with a bounded pipeline so an overloaded daemon exerts backpressure
@@ -58,7 +74,7 @@ void run_worker(const LoadgenConfig& cfg, std::size_t worker_idx,
                     static_cast<double>(cfg.batch) / per_worker_rate))
           : Clock::duration::zero();
 
-  std::deque<Clock::time_point> inflight;
+  std::deque<InflightBatch> inflight;
   std::vector<std::uint8_t> payload;
   std::uint64_t sent = 0, received = 0;
   auto next_send = Clock::now();
@@ -69,11 +85,19 @@ void run_worker(const LoadgenConfig& cfg, std::size_t worker_idx,
       out.error = "read failed";
       return false;
     }
-    const auto rtt =
-        std::chrono::duration<double>(Clock::now() - inflight.front()).count();
+    const InflightBatch batch = inflight.front();
     inflight.pop_front();
+    const auto rtt =
+        std::chrono::duration<double>(Clock::now() - batch.sent_at).count();
     out.latency.add(rtt);
     ++received;
+    obs::Tracer& tracer = obs::tracer();
+    if (batch.trace_id != 0 && tracer.active()) {
+      // The client-side batch span: the daemon's serve_batch span (same
+      // trace id, parented to this span id) nests under it after merge.
+      tracer.record_span("batch_rtt", "loadgen", tracer.ts_us(batch.sent_at),
+                         rtt * 1e6, batch.trace_id, batch.span_id, 0);
+    }
     Status status = Status::kMalformed;
     const auto entries = decode_decide_response(payload, &status);
     if (entries) {
@@ -81,6 +105,9 @@ void run_worker(const LoadgenConfig& cfg, std::size_t worker_idx,
       for (const DecisionEntry& e : *entries) {
         if ((e.flags & DecisionEntry::kQuantumBit) != 0) ++out.quantum;
         if ((e.flags & DecisionEntry::kRoundWonBit) != 0) ++out.rounds_won;
+        if ((e.flags & DecisionEntry::kDeadlineMissBit) != 0) {
+          ++out.deadline_missed;
+        }
       }
     } else if (status == Status::kRejected) {
       // Backpressure: the batch was shed; open loop does not retry.
@@ -108,12 +135,25 @@ void run_worker(const LoadgenConfig& cfg, std::size_t worker_idx,
         }
         next_send += interval;
       }
+      obs::TraceContext ctx;  // zero ids = unsampled
+      if (cfg.trace_sample_n > 0 && sent % cfg.trace_sample_n == 0) {
+        ctx = obs::TraceContext::derive(cfg.seed, worker_idx, sent);
+      }
+      if (dynamic_frame) {
+        req.trace_id = ctx.trace_id;
+        req.parent_span_id = ctx.span_id;
+        req.client_send_steady_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now().time_since_epoch())
+                .count());
+        frame = encode_decide_request_v2(req);
+      }
       if (!write_frame(fd, frame)) {
         out.ok = false;
         out.error = "write failed";
         break;
       }
-      inflight.push_back(Clock::now());
+      inflight.push_back({Clock::now(), ctx.trace_id, ctx.span_id});
       ++sent;
       out.decisions_sent += cfg.batch;
       continue;
@@ -176,6 +216,7 @@ LoadgenResult run_loadgen(const LoadgenConfig& cfg, std::ostream& log) {
     result.decisions_rejected += w.decisions_rejected;
     result.quantum += w.quantum;
     result.rounds_won += w.rounds_won;
+    result.deadline_missed += w.deadline_missed;
     if (counts.empty()) counts.assign(w.latency.counts().size(), 0);
     for (std::size_t b = 0; b < counts.size(); ++b) {
       counts[b] += w.latency.counts()[b];
@@ -209,8 +250,12 @@ LoadgenResult run_loadgen(const LoadgenConfig& cfg, std::ostream& log) {
               ? static_cast<double>(result.rounds_won) /
                     static_cast<double>(result.decisions_ok)
               : 0.0)
-      << "\n"
-      << "loadgen: batch RTT p50 " << result.latency.quantile(0.5) * 1e6
+      << "\n";
+  if (cfg.deadline_us > 0) {
+    log << "loadgen: deadline " << cfg.deadline_us << " us, "
+        << result.deadline_missed << " decisions missed it\n";
+  }
+  log << "loadgen: batch RTT p50 " << result.latency.quantile(0.5) * 1e6
       << " us, p95 " << result.latency.quantile(0.95) * 1e6 << " us, p99 "
       << result.latency.quantile(0.99) * 1e6 << " us\n"
       << "server:  generated " << result.server_stats.pairs_generated

@@ -35,6 +35,18 @@ struct LoadgenConfig {
   std::size_t pipeline = 4;
   /// Report wins/losses back via kReport at the end of the run.
   bool report = true;
+  /// Seed for deterministic trace-id derivation: worker w's batch b is
+  /// traced under TraceContext::derive(seed, w, b), so a stepped schedule
+  /// reproduces the same trace ids run over run.
+  std::uint64_t seed = 42;
+  /// Trace 1 of every N batches per worker (0 = tracing off). Sampled
+  /// batches carry their trace context to the daemon in the v2 frame and
+  /// record a client-side batch_rtt span.
+  std::uint64_t trace_sample_n = 0;
+  /// Per-request deadline budget, microseconds (0 = no deadline). Carried
+  /// in every v2 frame; the daemon attributes misses per stage and sets
+  /// kDeadlineMissBit on late decisions.
+  std::uint32_t deadline_us = 0;
 };
 
 struct LoadgenResult {
@@ -46,6 +58,8 @@ struct LoadgenResult {
   std::uint64_t decisions_rejected = 0;  // admission backpressure
   std::uint64_t quantum = 0;
   std::uint64_t rounds_won = 0;
+  /// Decisions whose reply carried kDeadlineMissBit (v2 with a deadline).
+  std::uint64_t deadline_missed = 0;
   double wall_s = 0.0;
   /// Per-batch round-trip latency, seconds.
   util::Histogram latency{0.0, 0.05, 500};

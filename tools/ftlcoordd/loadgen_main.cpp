@@ -7,6 +7,7 @@
 #include <string>
 
 #include "ftlcoordd/loadgen.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 
 namespace {
@@ -22,7 +23,11 @@ void print_usage(const char* prog) {
                "  --decisions N     total decisions across workers (default 1000000)\n"
                "  --rate HZ         offered decisions/s; 0 = saturation (default 0)\n"
                "  --pipeline N      frames in flight per connection (default 4)\n"
-               "  --no-report       skip the final wins/losses report frame\n",
+               "  --no-report       skip the final wins/losses report frame\n"
+               "  --seed N          trace-id derivation seed (default 42)\n"
+               "  --deadline-us US  per-request deadline budget; 0 = none (default 0)\n"
+               "  --trace-sample-n N trace 1 of every N batches per worker; 0 = off (default 0)\n"
+               "  --trace-out PATH  write a Chrome/Perfetto trace JSON on exit\n",
                prog);
 }
 
@@ -45,8 +50,30 @@ int main(int argc, char** argv) {
   cfg.rate_hz = args.get("rate", 0.0);
   cfg.pipeline = args.get("pipeline", std::size_t{4});
   cfg.report = !args.has("no-report");
+  cfg.seed = static_cast<std::uint64_t>(args.get("seed", 42LL));
+  cfg.deadline_us =
+      static_cast<std::uint32_t>(args.get("deadline-us", 0LL));
+  cfg.trace_sample_n =
+      static_cast<std::uint64_t>(args.get("trace-sample-n", 0LL));
+  const std::string trace_out = args.get("trace-out", std::string());
+
+  if (!trace_out.empty()) {
+    if (cfg.trace_sample_n == 0) cfg.trace_sample_n = 1;
+    ftl::obs::tracer().start();
+  }
 
   const auto result = ftl::coordd::run_loadgen(cfg, std::cerr);
+
+  if (!trace_out.empty()) {
+    ftl::obs::tracer().stop();
+    if (!ftl::obs::tracer().write(trace_out)) {
+      std::cerr << "loadgen: FAILED to write trace to " << trace_out << "\n";
+      return 1;
+    }
+    std::cerr << "loadgen: wrote " << ftl::obs::tracer().size()
+              << " trace events to " << trace_out << "\n";
+  }
+
   if (!result.ok) {
     std::cerr << "loadgen: FAILED: " << result.error << "\n";
     return 1;

@@ -15,6 +15,7 @@
 #include "ftlcoordd/daemon.hpp"
 #include "obs/export.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/args.hpp"
 
 namespace {
@@ -42,7 +43,10 @@ void print_usage(const char* prog) {
                "  --duration S           seconds to serve; 0 = until SIGINT/SIGTERM\n"
                "  --metrics-out PATH     write an ftl.obs.run_report/v1 JSON on exit\n"
                "  --snapshot-out PATH    append ftl.obs.snapshot/v1 JSONL while serving\n"
-               "  --snapshot-every-ms MS snapshot cadence (default 1000; needs --snapshot-out)\n",
+               "  --snapshot-every-ms MS snapshot cadence (default 1000; needs --snapshot-out)\n"
+               "  --trace-out PATH       write a Chrome/Perfetto trace JSON on exit\n"
+               "  --trace-sample-n N     record stage spans for 1 of every N traced\n"
+               "                         batches (default 1; needs --trace-out)\n",
                prog);
 }
 
@@ -71,7 +75,11 @@ int main(int argc, char** argv) {
   cfg.broker.qnet.memory_t1_s = args.get("t1-us", 500.0) * 1e-6;
   cfg.broker.qnet.memory_t2_s = args.get("t2-us", 100.0) * 1e-6;
   cfg.broker.qnet.max_storage_s = args.get("max-storage-us", 200.0) * 1e-6;
+  cfg.trace_sample_n =
+      static_cast<std::uint64_t>(args.get("trace-sample-n", 1LL));
   const double duration_s = args.get("duration", 0.0);
+  const std::string trace_out = args.get("trace-out", std::string());
+  if (!trace_out.empty()) ftl::obs::tracer().start();
 
   ftl::coordd::Daemon daemon(cfg);
   if (!daemon.start()) {
@@ -110,6 +118,16 @@ int main(int argc, char** argv) {
 
   daemon.stop();
   if (snapshotter) snapshotter->stop();
+
+  if (!trace_out.empty()) {
+    ftl::obs::tracer().stop();
+    if (!ftl::obs::tracer().write(trace_out)) {
+      std::cerr << "ftlcoordd: FAILED to write trace to " << trace_out << "\n";
+      return 1;
+    }
+    std::cout << "ftlcoordd: wrote " << ftl::obs::tracer().size()
+              << " trace events to " << trace_out << std::endl;
+  }
 
   const std::string metrics_out = args.get("metrics-out", std::string());
   if (!metrics_out.empty()) {

@@ -96,7 +96,10 @@ bool read_full(int fd, void* buf, std::size_t n) {
 bool write_full(int fd, const void* buf, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(buf);
   while (n > 0) {
-    const ssize_t sent = ::write(fd, p, n);
+    // MSG_NOSIGNAL: a peer that hung up mid-write (scraper timeout, killed
+    // client) must surface as EPIPE on this call, not a process-fatal
+    // SIGPIPE — the daemon holds no global signal handlers.
+    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
       return false;

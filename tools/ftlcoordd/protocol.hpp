@@ -11,6 +11,10 @@
 //   kReport   u32 source, u32 wins, u32 losses — endpoints report game
 //             outcomes back; the daemon only counts them (metrics).
 //   kStats    empty body — returns the broker's aggregated counters.
+//   kDecideV2 u32 source, u64 trace id, u64 parent span id, u64 client
+//             send timestamp (steady-clock ns), u32 deadline budget (us),
+//             u32 count, u8 inputs[count] — the traced, deadline-aware
+//             decide frame. Old (v1) clients keep sending kDecide.
 // Response:   u8 status, then a status/type-specific body.
 //   kOk + Decide: u32 count, then per decision u8 flags (bit0 = output
 //             bit, bit1 = consumed a live pair, bit2 = round won) and
@@ -40,6 +44,14 @@ enum class MsgType : std::uint8_t {
   kDecide = 1,
   kReport = 2,
   kStats = 3,
+  // Versioned decide frame (protocol v2): same batched-decision body as
+  // kDecide plus a propagatable trace context (trace id + parent span id),
+  // the client's steady-clock send timestamp, and a per-request deadline
+  // budget. Versioning is by message type: a v1 client keeps sending
+  // kDecide and the daemon keeps accepting it unchanged; a v2 client
+  // talking to an old daemon would be answered kMalformed, which the
+  // loadgen treats as fatal (clients upgrade last).
+  kDecideV2 = 4,
 };
 
 enum class Status : std::uint8_t {
@@ -50,6 +62,21 @@ enum class Status : std::uint8_t {
 
 struct DecideRequest {
   std::uint32_t source = 0;
+  std::vector<std::uint8_t> inputs;  // one game input bit per decision
+};
+
+/// v2 decide frame body. `trace_id` 0 means the batch is unsampled (no
+/// spans recorded server-side); `deadline_us` 0 means no deadline. The
+/// send timestamp is raw steady-clock nanoseconds — the daemon only serves
+/// localhost, so client and server share the clock and the daemon can
+/// attribute elapsed budget at each pipeline stage without any clock-sync
+/// machinery.
+struct DecideRequestV2 {
+  std::uint32_t source = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint64_t client_send_steady_ns = 0;
+  std::uint32_t deadline_us = 0;
   std::vector<std::uint8_t> inputs;  // one game input bit per decision
 };
 
@@ -66,6 +93,11 @@ struct DecisionEntry {
   static constexpr std::uint8_t kOutputBit = 1u << 0;
   static constexpr std::uint8_t kQuantumBit = 1u << 1;
   static constexpr std::uint8_t kRoundWonBit = 1u << 2;
+  /// v2 only: the decision was produced after the request's deadline
+  /// budget had already elapsed (measured at the end of the decide stage;
+  /// a reply that then blows the budget in the write stage is counted in
+  /// the daemon's miss metrics but cannot retroactively set this bit).
+  static constexpr std::uint8_t kDeadlineMissBit = 1u << 3;
 
   [[nodiscard]] double win_probability() const {
     return static_cast<double>(win_q) / 65535.0;
@@ -171,6 +203,22 @@ inline std::vector<std::uint8_t> encode_decide_request(
   return out;
 }
 
+inline std::vector<std::uint8_t> encode_decide_request_v2(
+    const DecideRequestV2& req) {
+  std::vector<std::uint8_t> out;
+  out.reserve(37 + req.inputs.size());
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kDecideV2));
+  w.u32(req.source);
+  w.u64(req.trace_id);
+  w.u64(req.parent_span_id);
+  w.u64(req.client_send_steady_ns);
+  w.u32(req.deadline_us);
+  w.u32(static_cast<std::uint32_t>(req.inputs.size()));
+  if (!req.inputs.empty()) w.bytes(req.inputs.data(), req.inputs.size());
+  return out;
+}
+
 inline std::vector<std::uint8_t> encode_report_request(
     const ReportRequest& req) {
   std::vector<std::uint8_t> out;
@@ -227,6 +275,23 @@ inline std::vector<std::uint8_t> encode_stats_response(const StatsReply& s) {
 inline std::optional<DecideRequest> decode_decide_request(ByteReader& r) {
   DecideRequest req;
   req.source = r.u32();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count > kMaxFrameBytes || r.remaining() < count) {
+    return std::nullopt;
+  }
+  req.inputs.resize(count);
+  if (count > 0 && !r.bytes(req.inputs.data(), count)) return std::nullopt;
+  return req;
+}
+
+inline std::optional<DecideRequestV2> decode_decide_request_v2(
+    ByteReader& r) {
+  DecideRequestV2 req;
+  req.source = r.u32();
+  req.trace_id = r.u64();
+  req.parent_span_id = r.u64();
+  req.client_send_steady_ns = r.u64();
+  req.deadline_us = r.u32();
   const std::uint32_t count = r.u32();
   if (!r.ok() || count > kMaxFrameBytes || r.remaining() < count) {
     return std::nullopt;
