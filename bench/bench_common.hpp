@@ -15,6 +15,13 @@
 //                          text exposition format (textfile-collector style)
 //   --trace-out=<path>     write a Chrome trace_event JSON file (open in
 //                          chrome://tracing or https://ui.perfetto.dev)
+//   --profile-out=<path>   run the in-process sampling CPU profiler for the
+//                          whole bench and write the profile on exit
+//   --profile-hz=<n>       profiler sampling rate (default 99 Hz)
+//   --profile-format=folded|speedscope
+//                          output format: FlameGraph folded stacks (pipe
+//                          into flamegraph.pl) or speedscope JSON (default
+//                          folded)
 // The flags are parsed and *removed* from argv before benchmark::Initialize
 // sees them (it treats unknown flags as fatal). Flag/value pairing follows
 // util::is_value_token, so a separate negative-number value (`--seed -5`)
@@ -24,7 +31,9 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <ctime>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -32,6 +41,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/args.hpp"
@@ -44,6 +54,9 @@ struct Options {
   std::string trace_out;          // empty = no trace
   std::string prom_out;           // empty = no Prometheus export
   std::uint64_t metrics_every_ms = 0;  // 0 = no periodic snapshots
+  std::string profile_out;        // empty = no CPU profile
+  int profile_hz = 99;
+  std::string profile_format = "folded";  // or "speedscope"
 };
 
 /// Reads the common bench flags from the command line and then removes them
@@ -59,10 +72,20 @@ inline Options parse_args(int& argc, char** argv, std::uint64_t fallback_seed) {
   opts.prom_out = args.get("prom-out", std::string());
   opts.metrics_every_ms = static_cast<std::uint64_t>(
       args.get("metrics-every", static_cast<long long>(0)));
+  opts.profile_out = args.get("profile-out", std::string());
+  opts.profile_hz =
+      static_cast<int>(args.get("profile-hz", static_cast<long long>(99)));
+  opts.profile_format = args.get("profile-format", std::string("folded"));
+  if (opts.profile_format != "folded" && opts.profile_format != "speedscope") {
+    std::cerr << "bench: unknown --profile-format '" << opts.profile_format
+              << "' (expected 'folded' or 'speedscope')\n";
+    std::exit(2);
+  }
 
   const auto is_ours = [](const std::string& arg) {
     for (const char* name : {"--seed", "--metrics-out", "--metrics-every",
-                             "--prom-out", "--trace-out"}) {
+                             "--prom-out", "--trace-out", "--profile-out",
+                             "--profile-hz", "--profile-format"}) {
       if (arg == name || arg.rfind(std::string(name) + "=", 0) == 0)
         return true;
     }
@@ -104,6 +127,20 @@ class ObsSession {
         t0_(std::chrono::steady_clock::now()),
         cpu0_(std::clock()) {
     if (!opts_.trace_out.empty()) obs::tracer().start();
+    if (!opts_.profile_out.empty()) {
+      obs::ProfilerOptions popts;
+      popts.hz = opts_.profile_hz;
+      profiling_ = obs::profiler().start(popts);
+      if (!profiling_) {
+        if constexpr (obs::kEnabled) {
+          std::cerr << "[obs] profiler failed to start (another profile "
+                       "session is already running?)\n";
+        } else {
+          std::cerr << "[obs] profiler unavailable: built with "
+                       "FTL_OBS_ENABLED=OFF, no profile will be written\n";
+        }
+      }
+    }
     if (opts_.metrics_every_ms > 0) {
       snapshotter_.emplace(
           series_path(),
@@ -130,6 +167,24 @@ class ObsSession {
 
   ~ObsSession() {
     const auto dt = std::chrono::steady_clock::now() - t0_;
+    if (profiling_) {
+      // Stop sampling before the report/export writers below run so the
+      // profile covers the bench itself, not the teardown I/O.
+      obs::profiler().stop();
+      const std::string body = opts_.profile_format == "speedscope"
+                                   ? obs::profiler().speedscope(name_)
+                                   : obs::profiler().folded();
+      std::ofstream out(opts_.profile_out, std::ios::trunc);
+      if (out && out.write(body.data(),
+                           static_cast<std::streamsize>(body.size()))) {
+        std::cerr << "[obs] CPU profile (" << obs::profiler().sample_count()
+                  << " samples, " << opts_.profile_format << ") written to "
+                  << opts_.profile_out << "\n";
+      } else {
+        std::cerr << "[obs] FAILED to write CPU profile to "
+                  << opts_.profile_out << "\n";
+      }
+    }
     if (snapshotter_) {
       snapshotter_->stop();
       std::cerr << "[obs] " << snapshotter_->snapshots_written()
@@ -179,6 +234,7 @@ class ObsSession {
   std::string config_;
   std::chrono::steady_clock::time_point t0_;
   std::clock_t cpu0_;
+  bool profiling_ = false;
   std::optional<obs::PeriodicSnapshotter> snapshotter_;
 };
 

@@ -170,6 +170,10 @@ BENCHMARK_CAPTURE(BM_Fig4Sharded, classical_random, "random")
 
 }  // namespace
 
+// Shared obs flags (see bench_common.hpp): --seed, --metrics-out,
+// --metrics-every, --prom-out, --trace-out, and --profile-out /
+// --profile-hz / --profile-format (in-process sampling CPU profile;
+// folded output pipes straight into flamegraph.pl).
 int main(int argc, char** argv) {
   const ftl::bench::Options obs_opts =
       ftl::bench::parse_args(argc, argv, g_seed);

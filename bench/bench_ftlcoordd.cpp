@@ -24,6 +24,7 @@
 #include "ftlcoordd/daemon.hpp"
 #include "ftlcoordd/loadgen.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "qnet/live_broker.hpp"
 #include "util/table.hpp"
 
@@ -66,6 +67,9 @@ constexpr double kClassicalRttS = 5e-6;
 // against one source. Every qnet.live.* counter this touches is a pure
 // function of (seed, config, schedule).
 SteppedResult run_stepped(std::size_t requests) {
+  // Tag profiler samples taken inside this loop so the folded stacks join
+  // against the coordd.stage_us attribution (`stage:stepped;...` roots).
+  const obs::ProfileStage profile_tag("stepped");
   qnet::LiveBroker broker(broker_config(1), g_seed);
   obs::Counter& m_deadline_hit = obs::registry().counter("coordd.deadline.hit");
   obs::Counter& m_deadline_miss = obs::registry().counter(
@@ -155,6 +159,10 @@ BENCHMARK(BM_FtlcoorddSocketDecide)
 
 }  // namespace
 
+// Shared obs flags (see bench_common.hpp): --seed, --metrics-out,
+// --metrics-every, --prom-out, --trace-out, and --profile-out /
+// --profile-hz / --profile-format (in-process sampling CPU profile;
+// folded output pipes straight into flamegraph.pl).
 int main(int argc, char** argv) {
   const ftl::bench::Options obs_opts =
       ftl::bench::parse_args(argc, argv, g_seed);

@@ -61,6 +61,10 @@ BENCHMARK(BM_MerminSampledPlay)->Arg(3)->Arg(5)
 
 }  // namespace
 
+// Shared obs flags (see bench_common.hpp): --seed, --metrics-out,
+// --metrics-every, --prom-out, --trace-out, and --profile-out /
+// --profile-hz / --profile-format (in-process sampling CPU profile;
+// folded output pipes straight into flamegraph.pl).
 int main(int argc, char** argv) {
   const ftl::bench::Options obs_opts =
       ftl::bench::parse_args(argc, argv, g_seed);

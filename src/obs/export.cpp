@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
 #include <utility>
 #include <vector>
@@ -45,12 +46,35 @@ void append_labels(std::string& out, const Labels& labels,
   out += '}';
 }
 
-/// Emits `# TYPE family kind` the first time a family is seen. Families
-/// repeat across label sets (and distinct dotted names can collapse to the
-/// same sanitised family), so dedup by emitted name.
-void type_line(std::string& out, std::set<std::string>& emitted,
-               const std::string& family, const char* kind) {
+/// Help strings keyed by dotted metric name. Process-global so every
+/// serialization path (daemon scrapes, --prom-out files, ftlbench export)
+/// sees the same documentation.
+std::mutex& help_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, std::string, std::less<>>& help_registry() {
+  static std::map<std::string, std::string, std::less<>> reg;
+  return reg;
+}
+
+/// Emits the family header — `# HELP` (when registered) then `# TYPE` —
+/// the first time a family is seen. Families repeat across label sets
+/// (and distinct dotted names can collapse to the same sanitised family),
+/// so dedup by emitted name.
+void family_header(std::string& out, std::set<std::string>& emitted,
+                   const std::string& family, const char* kind,
+                   std::string_view dotted_name) {
   if (!emitted.insert(family).second) return;
+  const std::string help = metric_help(dotted_name);
+  if (!help.empty()) {
+    out += "# HELP ";
+    out += family;
+    out += ' ';
+    out += prometheus_help_text(help);
+    out += '\n';
+  }
   out += "# TYPE ";
   out += family;
   out += ' ';
@@ -92,6 +116,35 @@ std::string prometheus_name(std::string_view name, std::string_view prefix) {
   return out;
 }
 
+void set_metric_help(std::string_view dotted_name, std::string_view help) {
+  const std::lock_guard<std::mutex> lock(help_mu());
+  if (help.empty()) {
+    help_registry().erase(std::string(dotted_name));
+  } else {
+    help_registry().insert_or_assign(std::string(dotted_name),
+                                     std::string(help));
+  }
+}
+
+std::string metric_help(std::string_view dotted_name) {
+  const std::lock_guard<std::mutex> lock(help_mu());
+  const auto it = help_registry().find(dotted_name);
+  return it != help_registry().end() ? it->second : std::string();
+}
+
+std::string prometheus_help_text(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string prometheus_label_value(std::string_view v) {
   std::string out;
   out.reserve(v.size());
@@ -114,7 +167,7 @@ std::string prometheus_text(const Snapshot& snapshot,
   for (const CounterSample& c : snapshot.counters) {
     // Counters carry the conventional `_total` suffix.
     const std::string family = prometheus_name(c.name, opts.prefix) + "_total";
-    type_line(out, emitted, family, "counter");
+    family_header(out, emitted, family, "counter", c.name);
     std::string line = family;
     append_labels(line, c.labels);
     sample_line(out, line, std::to_string(c.value), opts);
@@ -122,7 +175,7 @@ std::string prometheus_text(const Snapshot& snapshot,
 
   for (const GaugeSample& g : snapshot.gauges) {
     const std::string family = prometheus_name(g.name, opts.prefix);
-    type_line(out, emitted, family, "gauge");
+    family_header(out, emitted, family, "gauge", g.name);
     std::string line = family;
     append_labels(line, g.labels);
     sample_line(out, line, fmt_double(g.value), opts);
@@ -130,7 +183,7 @@ std::string prometheus_text(const Snapshot& snapshot,
 
   for (const HistogramSample& h : snapshot.histograms) {
     const std::string family = prometheus_name(h.name, opts.prefix);
-    type_line(out, emitted, family, "histogram");
+    family_header(out, emitted, family, "histogram", h.name);
     const std::size_t bins = h.counts.size();
     const double width =
         bins > 0 ? (h.hi - h.lo) / static_cast<double>(bins) : 0.0;

@@ -5,7 +5,8 @@
 //
 // Three pieces:
 //  * prometheus_text() serializes a Snapshot in the Prometheus text
-//    exposition format (version 0.0.4): `# TYPE` lines per metric family,
+//    exposition format (version 0.0.4): `# TYPE` lines per metric family
+//    (preceded by `# HELP` for families registered via set_metric_help),
 //    label escaping, cumulative `_bucket{le=...}` histogram encoding.
 //    Metric names are sanitised (`lb.queue_depth` -> `ftl_lb_queue_depth`)
 //    and counters get the conventional `_total` suffix. Histogram `_sum`
@@ -53,6 +54,25 @@ struct ExportOptions {
 /// Escapes a label value for the exposition format (backslash, double
 /// quote, and newline escapes).
 [[nodiscard]] std::string prometheus_label_value(std::string_view v);
+
+// ---------------------------------------------------------------------------
+// Help registry: optional per-family documentation strings.
+// ---------------------------------------------------------------------------
+
+/// Registers a help string for a metric family, keyed by the *dotted*
+/// metric name (e.g. "qnet.live.frames" — the serializer maps it to the
+/// sanitised family, including the counter `_total` suffix). Registered
+/// families gain a `# HELP` line emitted immediately before their `# TYPE`
+/// line. Process-global, thread-safe, last-write-wins; an empty help
+/// string unregisters.
+void set_metric_help(std::string_view dotted_name, std::string_view help);
+
+/// The registered help string for a dotted metric name ("" if none).
+[[nodiscard]] std::string metric_help(std::string_view dotted_name);
+
+/// Escapes a help string for a `# HELP` line (backslash and newline; the
+/// exposition format does not escape quotes in help text).
+[[nodiscard]] std::string prometheus_help_text(std::string_view help);
 
 /// Serializes a snapshot in the Prometheus text exposition format.
 [[nodiscard]] std::string prometheus_text(const Snapshot& snapshot,

@@ -118,7 +118,15 @@ void SlidingHistogram::collect(std::vector<std::uint64_t>& bins_out,
                                std::uint64_t& total_out) const {
   bins_out.assign(bins_, 0);
   total_out = 0;
-  const std::uint64_t cur = cur_epoch_.load(std::memory_order_relaxed);
+  // The window is anchored at wall-clock "now", not at the last observed
+  // epoch: after an idle gap with no observers (nothing advanced
+  // cur_epoch_), old epochs must age out of the window instead of
+  // reporting stale percentiles forever.
+  const auto elapsed = std::chrono::steady_clock::now() - t0_;
+  const std::uint64_t wall_epoch =
+      static_cast<std::uint64_t>(elapsed.count() / epoch_len_.count());
+  const std::uint64_t cur =
+      std::max(cur_epoch_.load(std::memory_order_relaxed), wall_epoch);
   const std::uint64_t oldest =
       cur >= window_epochs_ - 1 ? cur - (window_epochs_ - 1) : 0;
   for (const Epoch& e : ring_) {

@@ -50,15 +50,35 @@ TEST(BenchParseArgs, DefaultsWhenNoFlags) {
 TEST(BenchParseArgs, StripsAllOwnedFlags) {
   ArgvFixture fx({"bench", "--seed", "123", "--metrics-out=m.json",
                   "--metrics-every=50", "--prom-out=m.prom",
-                  "--trace-out", "t.json", "--benchmark_filter=X"});
+                  "--trace-out", "t.json", "--profile-out=p.folded",
+                  "--profile-hz", "997", "--profile-format=speedscope",
+                  "--benchmark_filter=X"});
   const Options opts = parse_args(fx.argc(), fx.argv(), 7);
   EXPECT_EQ(opts.seed, 123u);
   EXPECT_EQ(opts.metrics_out, "m.json");
   EXPECT_EQ(opts.metrics_every_ms, 50u);
   EXPECT_EQ(opts.prom_out, "m.prom");
   EXPECT_EQ(opts.trace_out, "t.json");
+  EXPECT_EQ(opts.profile_out, "p.folded");
+  EXPECT_EQ(opts.profile_hz, 997);
+  EXPECT_EQ(opts.profile_format, "speedscope");
   EXPECT_EQ(fx.remaining(),
             (std::vector<std::string>{"bench", "--benchmark_filter=X"}));
+}
+
+TEST(BenchParseArgs, ProfileDefaults) {
+  ArgvFixture fx({"bench"});
+  const Options opts = parse_args(fx.argc(), fx.argv(), 7);
+  EXPECT_TRUE(opts.profile_out.empty());
+  EXPECT_EQ(opts.profile_hz, 99);
+  EXPECT_EQ(opts.profile_format, "folded");
+}
+
+TEST(BenchParseArgs, UnknownProfileFormatDiesLoudly) {
+  // A silent typo here would drop the profile the user asked for.
+  ArgvFixture fx({"bench", "--profile-out=p", "--profile-format=pprof"});
+  EXPECT_DEATH((void)parse_args(fx.argc(), fx.argv(), 7),
+               "unknown --profile-format");
 }
 
 TEST(BenchParseArgs, NegativeNumberValueIsConsumedWithItsFlag) {

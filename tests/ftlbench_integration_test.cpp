@@ -88,12 +88,14 @@ TEST_F(FtlbenchIntegration, CompareGateOnRealAndInjectedData) {
       cand.string() + " --metric=sdp.gram.solves --threshold=1.01 >/dev/null";
   EXPECT_EQ(run(compare_counters), 0);
 
-  // Inject a 2x wall-time slowdown into the candidate trajectory: the gate
-  // must trip (exit 1).
+  // Inject a 10x wall-time slowdown into the candidate trajectory: the gate
+  // must trip (exit 1). The factor is deliberately far above the threshold —
+  // the two real runs are only ~20 ms each, so fork/exec noise between them
+  // can reach 2x on a loaded machine and a marginal injection would flake.
   const fs::path traj = cand / trajectory_filename(kBench);
   std::optional<Trajectory> t = load_trajectory(traj.string());
   ASSERT_TRUE(t.has_value());
-  for (TrajectoryEntry& e : t->entries) e.wall_time_s *= 2.0;
+  for (TrajectoryEntry& e : t->entries) e.wall_time_s *= 10.0;
   {
     std::ofstream out(traj.string(), std::ios::trunc);
     out << trajectory_json(*t) << '\n';

@@ -1,0 +1,149 @@
+// ftlbench profile tooling: folded-stack parsing, per-frame self/total
+// aggregation (with recursion dedupe), and the profile-diff movers table.
+#include "ftlbench/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ftl::benchtool {
+namespace {
+
+TEST(ParseFolded, ParsesStacksAndAccumulatesDuplicates) {
+  FoldedProfile p;
+  std::string error;
+  ASSERT_TRUE(parse_folded("main;work;hot 3\n"
+                           "main;idle 2\n"
+                           "\n"
+                           "main;work;hot 4\n",
+                           p, error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(p.total_samples, 9u);
+  ASSERT_EQ(p.stacks.size(), 2u);
+  EXPECT_EQ(p.stacks.at("main;work;hot"), 7u);
+  EXPECT_EQ(p.stacks.at("main;idle"), 2u);
+}
+
+TEST(ParseFolded, ToleratesCrlfAndMissingTrailingNewline) {
+  FoldedProfile p;
+  std::string error;
+  ASSERT_TRUE(parse_folded("a;b 1\r\nc 2", p, error));
+  EXPECT_EQ(p.total_samples, 3u);
+  EXPECT_EQ(p.stacks.at("c"), 2u);
+}
+
+TEST(ParseFolded, RejectsMalformedLinesWithLineNumber) {
+  FoldedProfile p;
+  std::string error;
+  EXPECT_FALSE(parse_folded("a;b 1\nno-count-here\n", p, error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_FALSE(parse_folded("a;b zero\n", p, error));
+  EXPECT_FALSE(parse_folded("a;b 0\n", p, error));  // counts are positive
+  EXPECT_FALSE(parse_folded(" 5\n", p, error));     // empty stack
+}
+
+TEST(ParseFolded, EmptyInputIsAnEmptyProfile) {
+  FoldedProfile p;
+  std::string error;
+  ASSERT_TRUE(parse_folded("", p, error));
+  EXPECT_EQ(p.total_samples, 0u);
+  EXPECT_TRUE(p.stacks.empty());
+}
+
+TEST(FrameStats, SelfAndTotalWeights) {
+  FoldedProfile p;
+  std::string error;
+  ASSERT_TRUE(parse_folded("main;f;g 3\nmain;f 2\nmain;h 5\n", p, error));
+  const auto stats = frame_stats(p);
+  EXPECT_EQ(stats.at("main").self, 0u);
+  EXPECT_EQ(stats.at("main").total, 10u);
+  EXPECT_EQ(stats.at("f").self, 2u);
+  EXPECT_EQ(stats.at("f").total, 5u);
+  EXPECT_EQ(stats.at("g").self, 3u);
+  EXPECT_EQ(stats.at("g").total, 3u);
+  EXPECT_EQ(stats.at("h").self, 5u);
+  EXPECT_EQ(stats.at("h").total, 5u);
+}
+
+TEST(FrameStats, RecursiveFramesCountOncePerStack) {
+  FoldedProfile p;
+  std::string error;
+  ASSERT_TRUE(parse_folded("main;rec;rec;rec 4\n", p, error));
+  const auto stats = frame_stats(p);
+  // total must never exceed the profile's sample count, however deep the
+  // recursion: the frame was on-stack for exactly 4 samples.
+  EXPECT_EQ(stats.at("rec").total, 4u);
+  EXPECT_EQ(stats.at("rec").self, 4u);
+  EXPECT_EQ(stats.at("main").total, 4u);
+}
+
+TEST(DiffProfiles, SortsByAbsoluteMovementAndNormalizesPerSide) {
+  FoldedProfile base, cand;
+  std::string error;
+  // baseline: hot=50%, warm=50%. candidate: hot=80%, warm=20% — and the
+  // sides have different totals, so the diff must normalize per side.
+  ASSERT_TRUE(parse_folded("main;hot 5\nmain;warm 5\n", base, error));
+  ASSERT_TRUE(parse_folded("main;hot 16\nmain;warm 4\n", cand, error));
+  const auto rows = diff_profiles(base, cand);
+  ASSERT_GE(rows.size(), 3u);  // main, hot, warm
+  EXPECT_EQ(rows[0].frame, "hot");
+  EXPECT_NEAR(rows[0].base_pct, 50.0, 1e-9);
+  EXPECT_NEAR(rows[0].cand_pct, 80.0, 1e-9);
+  EXPECT_NEAR(rows[0].delta_pp, 30.0, 1e-9);
+  EXPECT_EQ(rows[1].frame, "warm");
+  EXPECT_NEAR(rows[1].delta_pp, -30.0, 1e-9);
+  // main is on every stack on both sides: 100% -> 100%, no movement.
+  EXPECT_EQ(rows.back().frame, "main");
+  EXPECT_NEAR(rows.back().delta_pp, 0.0, 1e-9);
+}
+
+TEST(DiffProfiles, CandidateOnlyFramesAppear) {
+  FoldedProfile base, cand;
+  std::string error;
+  ASSERT_TRUE(parse_folded("main;a 10\n", base, error));
+  ASSERT_TRUE(parse_folded("main;a 5\nmain;brand_new 5\n", cand, error));
+  const auto rows = diff_profiles(base, cand);
+  bool saw_new = false;
+  for (const auto& r : rows) {
+    if (r.frame == "brand_new") {
+      saw_new = true;
+      EXPECT_NEAR(r.base_pct, 0.0, 1e-9);
+      EXPECT_NEAR(r.cand_pct, 50.0, 1e-9);
+      EXPECT_NEAR(r.delta_pp, 50.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(DiffProfiles, SelfDiffIsAllZeros) {
+  FoldedProfile p;
+  std::string error;
+  ASSERT_TRUE(parse_folded("a;b 1\na;c 2\nd 3\n", p, error));
+  for (const auto& r : diff_profiles(p, p)) {
+    EXPECT_NEAR(r.delta_pp, 0.0, 1e-9) << r.frame;
+  }
+}
+
+TEST(DiffProfiles, DeterministicTieBreakByName) {
+  FoldedProfile base, cand;
+  std::string error;
+  ASSERT_TRUE(parse_folded("x 1\ny 1\n", base, error));
+  ASSERT_TRUE(parse_folded("x 1\ny 1\n", cand, error));
+  const auto rows = diff_profiles(base, cand);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].frame, "x");
+  EXPECT_EQ(rows[1].frame, "y");
+}
+
+TEST(RunBenchProfiled, MissingBinaryFailsWithClearError) {
+  ProfiledRunConfig config;
+  config.bench_dir = "/nonexistent-dir";
+  config.bench = "bench_nope";
+  config.out_path = "/tmp/never-written.folded";
+  std::string error;
+  EXPECT_FALSE(run_bench_profiled(config, error));
+  EXPECT_NE(error.find("no such bench binary"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftl::benchtool

@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ftlcoordd/daemon.hpp"
@@ -18,6 +20,7 @@
 #include "ftlcoordd/net.hpp"
 #include "ftlcoordd/protocol.hpp"
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
 #include "obs/spanctx.hpp"
 #include "obs/trace.hpp"
 
@@ -165,10 +168,179 @@ TEST(Ftlcoordd, MetricsPortServesPrometheusText) {
 
   EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
   EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
-  EXPECT_NE(response.find("# TYPE ftl_qnet_live_requests_total counter"),
-            std::string::npos);
-  EXPECT_NE(response.find("ftl_qnet_live_requests_total"), std::string::npos);
+  // Under obs-OFF the registry is empty, so the scrape is a valid but
+  // bodyless exposition; the metric families only exist with obs on.
+  if (ftl::obs::kEnabled) {
+    EXPECT_NE(response.find("# HELP ftl_qnet_live_requests_total"),
+              std::string::npos);
+    EXPECT_NE(response.find("# TYPE ftl_qnet_live_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(response.find("ftl_qnet_live_requests_total"),
+              std::string::npos);
+  }
 }
+
+/// One HTTP exchange against the daemon's metrics port: write the request,
+/// read to EOF (the server closes after one response).
+std::string http_request(std::uint16_t port, const std::string& request) {
+  const int fd = connect_tcp("127.0.0.1", port);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return {};
+  EXPECT_TRUE(write_full(fd, request.data(), request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof buf);
+    if (got <= 0) break;
+    response.append(buf, static_cast<std::size_t>(got));
+  }
+  close_fd(fd);
+  return response;
+}
+
+/// Parsed Content-Length header value, or -1 when absent.
+long content_length_of(const std::string& response) {
+  const std::size_t pos = response.find("Content-Length: ");
+  if (pos == std::string::npos) return -1;
+  return std::strtol(response.c_str() + pos + 16, nullptr, 10);
+}
+
+TEST(FtlcoorddHttp, UnknownPathIs404) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  const std::string response = http_request(
+      daemon.metrics_port(), "GET /nope HTTP/1.0\r\n\r\n");
+  daemon.stop();
+  EXPECT_NE(response.find("HTTP/1.0 404 Not Found"), std::string::npos);
+  EXPECT_NE(response.find("unknown path"), std::string::npos);
+}
+
+TEST(FtlcoorddHttp, MalformedRequestLineIs400) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  const std::string garbage =
+      http_request(daemon.metrics_port(), "\x01\x02not-http\r\n\r\n");
+  const std::string relative =
+      http_request(daemon.metrics_port(), "GET metrics HTTP/1.0\r\n\r\n");
+  daemon.stop();
+  EXPECT_NE(garbage.find("HTTP/1.0 400 Bad Request"), std::string::npos);
+  EXPECT_NE(relative.find("HTTP/1.0 400 Bad Request"), std::string::npos);
+}
+
+TEST(FtlcoorddHttp, NonGetMethodsAre405) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  const std::string post = http_request(
+      daemon.metrics_port(),
+      "POST /metrics HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+  const std::string head_profile = http_request(
+      daemon.metrics_port(), "HEAD /profile HTTP/1.0\r\n\r\n");
+  daemon.stop();
+  EXPECT_NE(post.find("HTTP/1.0 405 Method Not Allowed"), std::string::npos);
+  EXPECT_NE(head_profile.find("HTTP/1.0 405 Method Not Allowed"),
+            std::string::npos);
+}
+
+TEST(FtlcoorddHttp, HeadMetricsHasContentLengthAndNoBody) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  const std::string get =
+      http_request(daemon.metrics_port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  const std::string head =
+      http_request(daemon.metrics_port(), "HEAD /metrics HTTP/1.0\r\n\r\n");
+  daemon.stop();
+
+  // GET: the advertised Content-Length matches the body actually sent.
+  ASSERT_NE(get.find("HTTP/1.0 200 OK"), std::string::npos);
+  const std::size_t get_body = get.find("\r\n\r\n");
+  ASSERT_NE(get_body, std::string::npos);
+  EXPECT_EQ(content_length_of(get),
+            static_cast<long>(get.size() - (get_body + 4)));
+
+  // HEAD: same headers (the would-be body length — nonzero whenever the
+  // registry is live; obs-OFF snapshots are empty), zero body bytes.
+  ASSERT_NE(head.find("HTTP/1.0 200 OK"), std::string::npos);
+  if (obs::kEnabled) {
+    EXPECT_GT(content_length_of(head), 0);
+  } else {
+    EXPECT_EQ(content_length_of(head), 0);
+  }
+  const std::size_t head_body = head.find("\r\n\r\n");
+  ASSERT_NE(head_body, std::string::npos);
+  EXPECT_EQ(head.size(), head_body + 4);
+}
+
+#if FTL_OBS_ENABLED
+TEST(FtlcoorddHttp, ProfileEndpointReturnsFoldedStacks) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+
+  // Hammer the decide path from a client thread while the profile runs, so
+  // the process is actually burning CPU (the profiler samples on process
+  // CPU time, not wall time).
+  std::atomic<bool> stop_client{false};
+  std::thread client([&] {
+    const int fd = connect_tcp("127.0.0.1", daemon.port());
+    if (fd < 0) return;
+    DecideRequest req;
+    req.source = 0;
+    req.inputs.assign(256, 1);
+    std::vector<std::uint8_t> payload;
+    while (!stop_client.load()) {
+      if (!write_frame(fd, encode_decide_request(req))) break;
+      if (!read_frame(fd, payload)) break;
+    }
+    close_fd(fd);
+  });
+
+  const std::string response = http_request(
+      daemon.metrics_port(), "GET /profile?seconds=1&hz=997 HTTP/1.0\r\n\r\n");
+  stop_client.store(true);
+  client.join();
+  daemon.stop();
+
+  ASSERT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos) << response;
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  ASSERT_FALSE(body.empty());
+  // Every line is `<stack> <count>` — the FlameGraph folded grammar.
+  std::istringstream lines(body);
+  std::string line;
+  std::size_t n_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++n_lines;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_GT(std::strtoul(line.c_str() + sp + 1, nullptr, 10), 0u) << line;
+  }
+  EXPECT_GT(n_lines, 0u);
+}
+
+TEST(FtlcoorddHttp, ConcurrentProfileSessionsConflict) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  // Arm the process-wide profiler directly: the daemon's /profile must
+  // refuse to stack a second session on top of it.
+  ASSERT_TRUE(obs::real::profiler().start({}));
+  const std::string response = http_request(
+      daemon.metrics_port(), "GET /profile?seconds=1 HTTP/1.0\r\n\r\n");
+  obs::real::profiler().stop();
+  daemon.stop();
+  EXPECT_NE(response.find("HTTP/1.0 409 Conflict"), std::string::npos);
+  EXPECT_NE(response.find("already running"), std::string::npos);
+}
+#else
+TEST(FtlcoorddHttp, ProfileEndpointIs501UnderObsOff) {
+  Daemon daemon(test_config());
+  ASSERT_TRUE(daemon.start());
+  const std::string response = http_request(
+      daemon.metrics_port(), "GET /profile?seconds=1 HTTP/1.0\r\n\r\n");
+  daemon.stop();
+  EXPECT_NE(response.find("HTTP/1.0 501 Not Implemented"), std::string::npos);
+}
+#endif  // FTL_OBS_ENABLED
 
 std::uint64_t now_steady_ns() {
   return static_cast<std::uint64_t>(

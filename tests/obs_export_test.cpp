@@ -91,6 +91,75 @@ TEST(PrometheusText, ParsesUnderExpositionGrammar) {
   expect_valid_exposition(prometheus_text(sample_snapshot()));
 }
 
+// --- help registry ----------------------------------------------------------
+
+TEST(PrometheusHelp, EmitsHelpBeforeTypeForRegisteredFamilies) {
+  // Keys are dotted names; the emitted family is the sanitised one —
+  // including the counter `_total` suffix.
+  set_metric_help("sdp.gram.solves", "Gram-matrix SDP solves");
+  set_metric_help("lb.queue_depth", "Per-server queue depth");
+  const std::string text = prometheus_text(sample_snapshot());
+  EXPECT_NE(
+      text.find("# HELP ftl_sdp_gram_solves_total Gram-matrix SDP solves\n"
+                "# TYPE ftl_sdp_gram_solves_total counter\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP ftl_lb_queue_depth Per-server queue depth\n"
+                      "# TYPE ftl_lb_queue_depth histogram\n"),
+            std::string::npos)
+      << text;
+  // Unregistered families stay HELP-less.
+  EXPECT_EQ(text.find("# HELP ftl_lb_chsh_rounds_won_total"),
+            std::string::npos);
+  expect_valid_exposition(text);
+  // Unregister and the HELP lines disappear (keeps the golden test above
+  // independent of execution order).
+  set_metric_help("sdp.gram.solves", "");
+  set_metric_help("lb.queue_depth", "");
+  EXPECT_EQ(prometheus_text(sample_snapshot()).find("# HELP"),
+            std::string::npos);
+}
+
+TEST(PrometheusHelp, RegistryLookupAndOverwrite) {
+  EXPECT_EQ(metric_help("help.test.nothing"), "");
+  set_metric_help("help.test.metric", "first");
+  EXPECT_EQ(metric_help("help.test.metric"), "first");
+  set_metric_help("help.test.metric", "second");
+  EXPECT_EQ(metric_help("help.test.metric"), "second");
+  set_metric_help("help.test.metric", "");
+  EXPECT_EQ(metric_help("help.test.metric"), "");
+}
+
+TEST(PrometheusHelp, EscapesBackslashAndNewline) {
+  EXPECT_EQ(prometheus_help_text("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_help_text("two\nlines"), "two\\nlines");
+  // Quotes are NOT escaped in help text, per the exposition format.
+  EXPECT_EQ(prometheus_help_text("say \"hi\""), "say \"hi\"");
+
+  set_metric_help("qnet.memory.occupancy", "frac\\tion of\nslots");
+  const std::string text = prometheus_text(sample_snapshot());
+  EXPECT_NE(text.find("# HELP ftl_qnet_memory_occupancy frac\\\\tion "
+                      "of\\nslots\n"),
+            std::string::npos)
+      << text;
+  expect_valid_exposition(text);
+  set_metric_help("qnet.memory.occupancy", "");
+}
+
+TEST(PrometheusHelp, HelpEmittedOncePerFamilyAcrossLabelSets) {
+  set_metric_help("help.test.multi", "labeled counter");
+  Snapshot snap;
+  snap.counters.push_back({"help.test.multi", {{"k", "a"}}, 1});
+  snap.counters.push_back({"help.test.multi", {{"k", "b"}}, 2});
+  const std::string text = prometheus_text(snap);
+  std::size_t helps = 0;
+  for (std::size_t pos = text.find("# HELP"); pos != std::string::npos;
+       pos = text.find("# HELP", pos + 1))
+    ++helps;
+  EXPECT_EQ(helps, 1u);
+  set_metric_help("help.test.multi", "");
+}
+
 TEST(PrometheusText, BucketsAreCumulativeAndCapped) {
   const std::string text = prometheus_text(sample_snapshot());
   // Extract all bucket values in order and check monotonicity + final cap.

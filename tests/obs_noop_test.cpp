@@ -8,6 +8,7 @@
 #include <type_traits>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/spanctx.hpp"
 #include "obs/trace.hpp"
 
@@ -26,6 +27,8 @@ static_assert(std::is_empty_v<noop::ScopedSpan>);
 static_assert(std::is_empty_v<noop::ScopedHistogramTimer>);
 static_assert(std::is_empty_v<noop::CtxSpan>);
 static_assert(std::is_empty_v<noop::SlidingHistogram>);
+static_assert(std::is_empty_v<noop::Profiler>);
+static_assert(std::is_empty_v<noop::ProfileStage>);
 
 // The real twins are decidedly not empty — if one ever became empty the
 // aliases were probably mis-wired.
@@ -33,6 +36,8 @@ static_assert(!std::is_empty_v<ftl::obs::real::Counter>);
 static_assert(!std::is_empty_v<ftl::obs::real::Histogram>);
 static_assert(!std::is_empty_v<ftl::obs::real::CtxSpan>);
 static_assert(!std::is_empty_v<ftl::obs::real::SlidingHistogram>);
+static_assert(!std::is_empty_v<ftl::obs::real::Profiler>);
+static_assert(!std::is_empty_v<ftl::obs::real::ProfileStage>);
 
 // TraceContext is shared plain data, not twinned: both configurations use
 // the same type, so ids derived under OFF still propagate on the wire.
@@ -43,9 +48,11 @@ static_assert(std::is_same_v<decltype(ftl::obs::TraceContext{}.trace_id),
 #if FTL_OBS_ENABLED
 static_assert(ftl::obs::kEnabled);
 static_assert(std::is_same_v<ftl::obs::Counter, ftl::obs::real::Counter>);
+static_assert(std::is_same_v<ftl::obs::Profiler, ftl::obs::real::Profiler>);
 #else
 static_assert(!ftl::obs::kEnabled);
 static_assert(std::is_same_v<ftl::obs::Counter, noop::Counter>);
+static_assert(std::is_same_v<ftl::obs::Profiler, noop::Profiler>);
 #endif
 
 TEST(ObsNoop, CallsAreSafeAndInert) {
@@ -97,6 +104,21 @@ TEST(ObsNoop, SpanCtxTwinsAreInert) {
   h.flush();
   EXPECT_EQ(h.window_count(), 0u);
   EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(ObsNoop, ProfilerTwinIsInert) {
+  noop::Profiler& p = noop::profiler();
+  EXPECT_FALSE(p.start({}));  // never arms: no SIGPROF under obs-OFF
+  p.stop();
+  EXPECT_FALSE(p.running());
+  EXPECT_EQ(p.sample_count(), 0u);
+  EXPECT_EQ(p.dropped(), 0u);
+  EXPECT_TRUE(p.samples().empty());
+  EXPECT_TRUE(p.folded().empty());
+  EXPECT_TRUE(p.speedscope("x").empty());
+  EXPECT_EQ(noop::set_profile_stage("stage"), nullptr);
+  EXPECT_EQ(noop::profile_stage(), nullptr);
+  { noop::ProfileStage tag("scoped"); }
 }
 
 }  // namespace

@@ -173,6 +173,68 @@ TEST(SlidingHistogram, OldEpochsFallOutOfTheWindow) {
   EXPECT_EQ(h.window_count(), 0u);
 }
 
+// Reads one gauge value out of a snapshot; fails the test if absent.
+double gauge_value(const ftl::obs::Snapshot& snap, std::string_view name) {
+  for (const auto& g : snap.gauges) {
+    if (g.name == name) return g.value;
+  }
+  ADD_FAILURE() << "gauge not found: " << name;
+  return -1.0;
+}
+
+TEST(SlidingHistogramStaleness, UnflushedReadsDecayAfterIdleGap) {
+  ftl::obs::real::Registry reg;
+  // 2-epoch window of 25 ms epochs; nothing rotates the ring after the
+  // burst — collect() itself must age the window out.
+  SlidingHistogram h("idle_us", 0.0, 100.0, 50, /*window_epochs=*/2,
+                     std::chrono::milliseconds(25), &reg);
+  for (int i = 0; i < 40; ++i) h.observe(50.0);
+  EXPECT_EQ(h.window_count(), 40u);
+  EXPECT_GT(h.quantile(0.50), 0.0);
+  // Sleep well past the window with zero observers in between.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(h.window_count(), 0u);
+  EXPECT_EQ(h.quantile(0.50), 0.0);
+  EXPECT_EQ(h.quantile(0.999), 0.0);
+}
+
+TEST(SlidingHistogramStaleness, FlushedGaugesReportEmptyWindowAfterIdleGap) {
+  ftl::obs::real::Registry reg;
+  SlidingHistogram h("gap_us", 0.0, 100.0, 50, /*window_epochs=*/2,
+                     std::chrono::milliseconds(25), &reg,
+                     {{"stage", "decide"}});
+  for (int i = 0; i < 100; ++i) h.observe(10.0);
+  h.flush();
+  {
+    const ftl::obs::Snapshot snap = reg.snapshot();
+    EXPECT_EQ(gauge_value(snap, "gap_us.window_count"), 100.0);
+    EXPECT_NEAR(gauge_value(snap, "gap_us.window_p50"), 10.0, 2.5);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  h.flush();
+  {
+    const ftl::obs::Snapshot snap = reg.snapshot();
+    EXPECT_EQ(gauge_value(snap, "gap_us.window_count"), 0.0);
+    EXPECT_EQ(gauge_value(snap, "gap_us.window_p50"), 0.0);
+    EXPECT_EQ(gauge_value(snap, "gap_us.window_p95"), 0.0);
+    EXPECT_EQ(gauge_value(snap, "gap_us.window_p99"), 0.0);
+    EXPECT_EQ(gauge_value(snap, "gap_us.window_p999"), 0.0);
+  }
+}
+
+TEST(SlidingHistogramStaleness, FreshSamplesAfterIdleGapStandAlone) {
+  ftl::obs::real::Registry reg;
+  SlidingHistogram h("resume_us", 0.0, 100.0, 50, /*window_epochs=*/2,
+                     std::chrono::milliseconds(25), &reg);
+  for (int i = 0; i < 50; ++i) h.observe(90.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // After the gap, only the fresh burst is in the window: the old p-heavy
+  // tail must not bleed into the new percentiles.
+  for (int i = 0; i < 7; ++i) h.observe(10.0);
+  EXPECT_EQ(h.window_count(), 7u);
+  EXPECT_NEAR(h.quantile(0.999), 10.0, 2.5);
+}
+
 TEST(SlidingHistogram, ClampsOutOfRangeObservations) {
   ftl::obs::real::Registry reg;
   SlidingHistogram h("clamp", 0.0, 10.0, 10, 2,

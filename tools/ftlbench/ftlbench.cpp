@@ -27,15 +27,35 @@
 //       document; --summary-out writes the ftl.obs.trace_summary/v1
 //       stage-attribution JSON (also printed to stdout when neither flag
 //       is given).
+//
+//   ftlbench profile <bench> --bench-dir=<dir> [--out=<path>] [--hz=99]
+//                [--seed=N] [--filter=<regex>] [--format=folded|speedscope]
+//                [--top=15]
+//       Runs one bench binary under the in-process sampling profiler and
+//       writes the profile (default `<bench>.folded`). For folded output,
+//       prints the top-N frames by self weight.
+//
+//   ftlbench profile-diff <baseline.folded> <candidate.folded> [--top=20]
+//                [--gate-pp=<points>]
+//       Per-frame delta table between two folded profiles, sorted by
+//       absolute movement of each frame's share of total CPU (percentage
+//       points). With --gate-pp, exits 1 when any frame moved more than
+//       the gate — a regression-style check for profile drift.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ftlbench/compare.hpp"
+#include "ftlbench/profile.hpp"
 #include "ftlbench/runner.hpp"
 #include "ftlbench/tracemerge.hpp"
 #include "ftlbench/trajectory.hpp"
@@ -60,7 +80,12 @@ int usage(std::ostream& out) {
          "[--boot-seed=1]\n"
          "  ftlbench export <run_report.json> [--prefix=ftl_]\n"
          "  ftlbench trace-merge <client_trace.json> <server_trace.json>\n"
-         "               [--out=merged.json] [--summary-out=summary.json]\n";
+         "               [--out=merged.json] [--summary-out=summary.json]\n"
+         "  ftlbench profile <bench> --bench-dir=<dir> [--out=<path>]\n"
+         "               [--hz=99] [--seed=N] [--filter=<regex>]\n"
+         "               [--format=folded|speedscope] [--top=15]\n"
+         "  ftlbench profile-diff <baseline.folded> <candidate.folded>\n"
+         "               [--top=20] [--gate-pp=<points>]\n";
   return 2;
 }
 
@@ -267,6 +292,122 @@ int cmd_trace_merge(const util::Args& args) {
   return 0;
 }
 
+int cmd_profile(const util::Args& args) {
+  if (args.positional().size() != 2) {  // "profile" + bench name
+    std::cerr << "ftlbench profile: need <bench>\n";
+    return 2;
+  }
+  ProfiledRunConfig config;
+  config.bench = args.positional()[1];
+  config.bench_dir = args.get("bench-dir", std::string());
+  if (config.bench_dir.empty()) {
+    std::cerr << "ftlbench profile: --bench-dir is required\n";
+    return 2;
+  }
+  config.hz = static_cast<int>(args.get("hz", 99LL));
+  config.format = args.get("format", std::string("folded"));
+  if (config.format != "folded" && config.format != "speedscope") {
+    std::cerr << "ftlbench profile: unknown --format '" << config.format
+              << "'\n";
+    return 2;
+  }
+  config.gbench_filter = args.get("filter", std::string());
+  if (args.has("seed")) {
+    config.has_seed = true;
+    config.seed =
+        static_cast<std::uint64_t>(args.get("seed", 42LL));
+  }
+  const std::string default_out =
+      config.bench +
+      (config.format == "folded" ? ".folded" : ".speedscope.json");
+  config.out_path = args.get("out", default_out);
+  config.log_path = "." + config.bench + ".profile.log.tmp";
+
+  std::string error;
+  if (!run_bench_profiled(config, error)) {
+    std::cerr << "ftlbench profile: " << error << "\n";
+    return 2;
+  }
+  std::cout << "profile (" << config.format << ", " << config.hz
+            << " Hz) written to " << config.out_path << "\n";
+  if (config.format != "folded") return 0;
+
+  // Top frames by self weight: the flamegraph's widest leaves, as text.
+  const std::optional<std::string> text = slurp(config.out_path);
+  FoldedProfile profile;
+  if (!text || !parse_folded(*text, profile, error)) {
+    std::cerr << "ftlbench profile: unreadable profile output: " << error
+              << "\n";
+    return 2;
+  }
+  const std::size_t top = args.get("top", static_cast<std::size_t>(15));
+  std::vector<std::pair<std::string, FrameStat>> frames;
+  for (auto& kv : frame_stats(profile)) frames.push_back(std::move(kv));
+  std::sort(frames.begin(), frames.end(), [](const auto& a, const auto& b) {
+    if (a.second.self != b.second.self) return a.second.self > b.second.self;
+    return a.first < b.first;
+  });
+  util::Table table({"frame", "self", "self %", "total %"});
+  table.set_precision(2);
+  const double total = profile.total_samples > 0
+                           ? static_cast<double>(profile.total_samples)
+                           : 1.0;
+  for (std::size_t i = 0; i < frames.size() && i < top; ++i) {
+    const auto& [frame, stat] = frames[i];
+    table.add_row({frame, static_cast<long long>(stat.self),
+                   100.0 * static_cast<double>(stat.self) / total,
+                   100.0 * static_cast<double>(stat.total) / total});
+  }
+  std::cout << profile.total_samples << " samples, " << profile.stacks.size()
+            << " unique stacks\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_profile_diff(const util::Args& args) {
+  if (args.positional().size() != 3) {  // "profile-diff" + two paths
+    std::cerr << "ftlbench profile-diff: need <baseline> <candidate>\n";
+    return 2;
+  }
+  FoldedProfile base, cand;
+  for (const auto& [which, out] :
+       {std::pair<int, FoldedProfile*>{1, &base}, {2, &cand}}) {
+    const std::string& path = args.positional()[static_cast<std::size_t>(which)];
+    const std::optional<std::string> text = slurp(path);
+    std::string error;
+    if (!text || !parse_folded(*text, *out, error)) {
+      std::cerr << "ftlbench profile-diff: cannot parse " << path
+                << (text ? ": " + error : ": unreadable") << "\n";
+      return 2;
+    }
+  }
+  const std::vector<FrameDelta> deltas = diff_profiles(base, cand);
+  const std::size_t top = args.get("top", static_cast<std::size_t>(20));
+  const double gate_pp = args.get("gate-pp", 0.0);
+
+  util::Table table({"frame", "base %", "cand %", "delta pp"});
+  table.set_precision(2);
+  for (std::size_t i = 0; i < deltas.size() && i < top; ++i) {
+    const FrameDelta& d = deltas[i];
+    table.add_row({d.frame, d.base_pct, d.cand_pct, d.delta_pp});
+  }
+  std::cout << "baseline " << base.total_samples << " samples, candidate "
+            << cand.total_samples << " samples, " << deltas.size()
+            << " frames compared\n";
+  table.print(std::cout);
+  if (gate_pp > 0.0 && !deltas.empty() &&
+      std::abs(deltas.front().delta_pp) > gate_pp) {
+    std::cout << "\nPROFILE DRIFT: top mover '" << deltas.front().frame
+              << "' moved " << deltas.front().delta_pp
+              << "pp, beyond the " << gate_pp << "pp gate\n";
+    return 1;
+  }
+  if (gate_pp > 0.0) {
+    std::cout << "\nno frame moved beyond " << gate_pp << "pp\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -277,6 +418,8 @@ int main(int argc, char** argv) {
   if (cmd == "compare") return cmd_compare(args);
   if (cmd == "export") return cmd_export(args);
   if (cmd == "trace-merge") return cmd_trace_merge(args);
+  if (cmd == "profile") return cmd_profile(args);
+  if (cmd == "profile-diff") return cmd_profile_diff(args);
   std::cerr << "ftlbench: unknown command '" << cmd << "'\n";
   return usage(std::cerr);
 }

@@ -4,11 +4,16 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <thread>
 
 #include "ftlcoordd/net.hpp"
 #include "ftlcoordd/protocol.hpp"
 #include "obs/export.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace ftl::coordd {
@@ -44,6 +49,84 @@ std::uint64_t steady_ns(Clock::time_point tp) {
           .count());
 }
 
+/// On-demand profile bounds: long enough for a useful flamegraph, short
+/// enough that the (single-threaded) metrics acceptor is never wedged for
+/// more than half a minute.
+constexpr long kProfileMinSeconds = 1;
+constexpr long kProfileMaxSeconds = 30;
+constexpr long kProfileDefaultSeconds = 5;
+constexpr long kProfileMinHz = 1;
+constexpr long kProfileMaxHz = 1000;
+constexpr long kProfileDefaultHz = 99;
+
+/// A parsed HTTP request line ("GET /profile?seconds=2 HTTP/1.1").
+struct RequestLine {
+  std::string method;
+  std::string path;   // target up to '?'
+  std::string query;  // after '?', possibly empty
+};
+
+/// Parses the first line of `request`; nullopt when it is not a
+/// three-token HTTP request line with an absolute path target.
+std::optional<RequestLine> parse_request_line(std::string_view request) {
+  const std::size_t eol = request.find("\r\n");
+  std::string_view line =
+      eol == std::string_view::npos ? request : request.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return std::nullopt;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return std::nullopt;
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (target.empty() || target[0] != '/') return std::nullopt;
+  if (version.rfind("HTTP/", 0) != 0) return std::nullopt;
+  RequestLine out;
+  out.method = std::string(line.substr(0, sp1));
+  const std::size_t q = target.find('?');
+  out.path = std::string(target.substr(0, q));
+  if (q != std::string_view::npos) out.query = std::string(target.substr(q + 1));
+  return out;
+}
+
+/// Value of `key` in an `a=1&b=2` query string, clamped into
+/// [lo, hi]; `fallback` when absent or not a number.
+long query_long(std::string_view query, std::string_view key, long fallback,
+                long lo, long hi) {
+  long value = fallback;
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    const std::size_t amp = query.find('&', pos);
+    const std::string_view pair = query.substr(
+        pos, amp == std::string_view::npos ? std::string_view::npos
+                                           : amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      const std::string digits(pair.substr(eq + 1));
+      char* end = nullptr;
+      errno = 0;
+      const long parsed = std::strtol(digits.c_str(), &end, 10);
+      if (errno == 0 && end != digits.c_str() && *end == '\0') value = parsed;
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return std::clamp(value, lo, hi);
+}
+
+/// Writes a full HTTP/1.0 response. HEAD requests get the headers (with
+/// the Content-Length the body *would* have) and no body bytes.
+void send_http(int fd, std::string_view status, std::string_view content_type,
+               std::string_view body, bool head_only) {
+  std::string response = "HTTP/1.0 ";
+  response += status;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: " + std::to_string(body.size()) +
+              "\r\nConnection: close\r\n\r\n";
+  if (!head_only) response += body;
+  (void)write_full(fd, response.data(), response.size());
+}
+
 }  // namespace
 
 const char* stage_name(Stage s) noexcept {
@@ -72,7 +155,34 @@ Daemon::Daemon(const DaemonConfig& cfg)
           "qnet.live.decision_latency_s", 0.0, kLatencyHistHi, 50)),
       m_batch_size_(obs::registry().histogram("qnet.live.batch_size", 0.0,
                                               4096.0, 64)),
-      m_deadline_hit_(obs::registry().counter("coordd.deadline.hit")) {
+      m_deadline_hit_(obs::registry().counter("coordd.deadline.hit")),
+      m_profile_requests_(obs::registry().counter("coordd.profile.requests")) {
+  // Help strings for the daemon-owned families, surfaced as `# HELP` lines
+  // on /metrics. Keyed by dotted name; idempotent across Daemon instances.
+  obs::set_metric_help("qnet.live.requests",
+                       "Decision requests served by the live broker.");
+  obs::set_metric_help("qnet.live.connections",
+                       "Decide-protocol TCP connections accepted.");
+  obs::set_metric_help("qnet.live.frames",
+                       "Protocol frames received on decide connections.");
+  obs::set_metric_help("qnet.live.malformed",
+                       "Frames rejected as malformed or out of range.");
+  obs::set_metric_help("qnet.live.metrics_scrapes",
+                       "HTTP scrapes served on /metrics.");
+  obs::set_metric_help("qnet.live.decision_latency_s",
+                       "Per-decision broker latency within a batch.");
+  obs::set_metric_help("qnet.live.batch_size",
+                       "Decisions per decide batch.");
+  obs::set_metric_help(
+      "coordd.stage_us",
+      "Per-batch serving-path stage latency in microseconds, by stage.");
+  obs::set_metric_help("coordd.deadline.hit",
+                       "Batches that met their deadline budget.");
+  obs::set_metric_help(
+      "coordd.deadline.miss",
+      "Batches that blew their deadline budget, by first late stage.");
+  obs::set_metric_help("coordd.profile.requests",
+                       "On-demand CPU profile requests on /profile.");
   for (std::size_t i = 0; i < kNumStages; ++i) {
     const obs::Labels labels{{"stage", stage_name(static_cast<Stage>(i))}};
     m_stage_us_[i] = &obs::registry().histogram(
@@ -184,30 +294,104 @@ void Daemon::metrics_loop() {
 }
 
 void Daemon::serve_metrics_once(int fd) {
-  // Minimal HTTP/1.0: read (and discard) whatever request arrived, answer
-  // with the text exposition, close. Enough for curl and Prometheus. The
-  // request read retries EINTR; the response goes through write_full,
-  // which loops over partial writes and sends with MSG_NOSIGNAL so a
-  // scraper hanging up mid-body surfaces as EPIPE, not a fatal SIGPIPE —
-  // large registries (many labeled histograms) routinely exceed one
-  // socket buffer, so partial writes are the common case here.
+  // Minimal HTTP/1.0 server: read the request head, parse the request
+  // line, route. Exactly two resources exist — /metrics (GET/HEAD) and
+  // /profile (GET) — and everything else is an error status, so a typo'd
+  // scrape URL fails loudly instead of silently receiving the exposition.
+  // Responses go through write_full, which loops over partial writes and
+  // sends with MSG_NOSIGNAL so a scraper hanging up mid-body surfaces as
+  // EPIPE, not a fatal SIGPIPE — large registries (many labeled
+  // histograms) routinely exceed one socket buffer.
+  constexpr std::size_t kMaxRequestBytes = 4096;
+  constexpr std::string_view kTextPlain = "text/plain; charset=utf-8";
+  std::string request;
   char buf[1024];
-  ssize_t got;
-  do {
-    got = ::read(fd, buf, sizeof buf);
-  } while (got < 0 && errno == EINTR);
-  m_scrapes_.inc();
-  // Publish fresh windowed percentiles before snapshotting, so every
-  // scrape sees the last ~10 s of stage latency, not gauges from the
-  // previous scrape.
-  flush_stage_windows();
-  const std::string body = obs::prometheus_text(obs::registry().snapshot());
-  const std::string response =
-      "HTTP/1.0 200 OK\r\n"
-      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-      "Content-Length: " +
-      std::to_string(body.size()) + "\r\n\r\n" + body;
-  (void)write_full(fd, response.data(), response.size());
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    ssize_t got;
+    do {
+      got = ::read(fd, buf, sizeof buf);
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) break;
+    request.append(buf, static_cast<std::size_t>(got));
+    // A bare request line with no headers still routes: curl always sends
+    // a Host header, but the tests (and netcat users) may not.
+    if (request.find("\r\n") != std::string::npos) break;
+  }
+
+  const std::optional<RequestLine> line = parse_request_line(request);
+  if (!line) {
+    send_http(fd, "400 Bad Request", kTextPlain, "malformed request line\n",
+              /*head_only=*/false);
+    return;
+  }
+  const bool is_get = line->method == "GET";
+  const bool is_head = line->method == "HEAD";
+
+  if (line->path == "/metrics") {
+    if (!is_get && !is_head) {
+      send_http(fd, "405 Method Not Allowed", kTextPlain,
+                "only GET and HEAD are supported on /metrics\n", false);
+      return;
+    }
+    m_scrapes_.inc();
+    // Publish fresh windowed percentiles before snapshotting, so every
+    // scrape sees the last ~10 s of stage latency, not gauges from the
+    // previous scrape.
+    flush_stage_windows();
+    const std::string body = obs::prometheus_text(obs::registry().snapshot());
+    send_http(fd, "200 OK", "text/plain; version=0.0.4; charset=utf-8", body,
+              is_head);
+    return;
+  }
+  if (line->path == "/profile") {
+    if (!is_get) {
+      // HEAD is refused too: the Content-Length would require actually
+      // running the profile for N seconds.
+      send_http(fd, "405 Method Not Allowed", kTextPlain,
+                "only GET is supported on /profile\n", false);
+      return;
+    }
+    serve_profile_once(fd, line->query);
+    return;
+  }
+  send_http(fd, "404 Not Found", kTextPlain,
+            "unknown path (try /metrics or /profile?seconds=N&hz=H)\n",
+            false);
+}
+
+void Daemon::serve_profile_once(int fd, std::string_view query) {
+  m_profile_requests_.inc();
+  if (!obs::kEnabled) {
+    send_http(fd, "501 Not Implemented", "text/plain; charset=utf-8",
+              "profiler disabled: daemon built with FTL_OBS_ENABLED=OFF\n",
+              false);
+    return;
+  }
+  const long seconds =
+      query_long(query, "seconds", kProfileDefaultSeconds, kProfileMinSeconds,
+                 kProfileMaxSeconds);
+  const long hz = query_long(query, "hz", kProfileDefaultHz, kProfileMinHz,
+                             kProfileMaxHz);
+  obs::ProfilerOptions opts;
+  opts.hz = static_cast<int>(hz);
+  // The profiler itself is the one-session guard: a concurrent /profile
+  // (or a bench profiling in the same process) owns SIGPROF until it
+  // stops, and a second start() just fails.
+  if (!obs::profiler().start(opts)) {
+    send_http(fd, "409 Conflict", "text/plain; charset=utf-8",
+              "another profile session is already running\n", false);
+    return;
+  }
+  // Sample for the requested window, but wake every 50 ms so daemon
+  // shutdown is never stuck behind a 30 s profile.
+  const auto deadline = Clock::now() + std::chrono::seconds(seconds);
+  while (Clock::now() < deadline && !stopping_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  obs::profiler().stop();
+  const std::string body = obs::profiler().folded();
+  send_http(fd, "200 OK", "text/plain; charset=utf-8", body, false);
 }
 
 bool Daemon::handle_decide(int fd, DecideRequestV2& req,
@@ -224,6 +408,10 @@ bool Daemon::handle_decide(int fd, DecideRequestV2& req,
   }
   const auto t_admit = Clock::now();
 
+  // Profiler stage tags track the same boundaries the stage histograms
+  // time, so folded profile weight under `stage:pair_acquire;...` joins
+  // against the coordd.stage_us attribution.
+  obs::set_profile_stage(stage_name(Stage::kPairAcquire));
   decisions.clear();
   decisions.reserve(n);
   for (const std::uint8_t input : req.inputs) {
@@ -232,6 +420,7 @@ bool Daemon::handle_decide(int fd, DecideRequestV2& req,
   broker_->release(n);
   const auto t_acquire = Clock::now();
 
+  obs::set_profile_stage(stage_name(Stage::kDecide));
   entries.clear();
   entries.reserve(n);
   for (const auto& d : decisions) {
@@ -273,8 +462,10 @@ bool Daemon::handle_decide(int fd, DecideRequestV2& req,
     }
   }
 
+  obs::set_profile_stage(stage_name(Stage::kReplyWrite));
   const bool write_ok = write_frame(fd, encode_decide_response(entries));
   const auto t_write = Clock::now();
+  obs::set_profile_stage(nullptr);
 
   if (has_deadline) {
     if (miss_stage < 0 && steady_ns(t_write) > deadline_ns) {
@@ -348,8 +539,10 @@ void Daemon::handle_connection(int fd) {
   std::vector<qnet::LiveBroker::Decision> decisions;
   while (!stopping_.load()) {
     const auto t_loop = Clock::now();
+    obs::set_profile_stage(stage_name(Stage::kSocketRead));
     if (!read_frame(fd, payload)) break;
     const auto t_read = Clock::now();
+    obs::set_profile_stage(stage_name(Stage::kAdmission));
     m_frames_.inc();
     ByteReader r(payload.data(), payload.size());
     const auto type = static_cast<MsgType>(r.u8());
@@ -434,6 +627,7 @@ void Daemon::handle_connection(int fd) {
         break;
     }
   }
+  obs::set_profile_stage(nullptr);
   cleanup(fd);
 }
 

@@ -2,9 +2,14 @@
 //
 // Serves the decide/report protocol (protocol.hpp) on a loopback TCP port,
 // backed by a concurrent qnet::LiveBroker whose producer thread refills the
-// per-source pair pools continuously. A second loopback port answers HTTP
-// GETs with the Prometheus text exposition of the live metrics registry
-// (src/obs/export), so `curl :<metrics_port>/metrics` works against a
+// per-source pair pools continuously. A second loopback port speaks just
+// enough HTTP for two resources: GET/HEAD /metrics answers with the
+// Prometheus text exposition of the live metrics registry (src/obs/export),
+// and GET /profile?seconds=N&hz=H runs the in-process sampling CPU profiler
+// for N seconds and answers with FlameGraph folded stacks (one profile
+// session at a time; 409 when busy, 501 when built with
+// FTL_OBS_ENABLED=OFF). Unknown paths get 404, malformed request lines 400,
+// other methods 405 — so `curl :<metrics_port>/metrics` works against a
 // running daemon exactly like a node exporter.
 //
 // Threading model: one acceptor per port plus one handler thread per
@@ -20,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -94,7 +100,13 @@ class Daemon {
                      std::chrono::steady_clock::time_point t_read,
                      std::vector<DecisionEntry>& entries,
                      std::vector<qnet::LiveBroker::Decision>& decisions);
+  /// Serves one HTTP request on the metrics port: routes /metrics and
+  /// /profile, answers errors (400/404/405) for everything else.
   void serve_metrics_once(int fd);
+  /// GET /profile: runs the sampling profiler for the requested window
+  /// (seconds/hz from the query string, clamped) and writes the folded
+  /// stacks. 409 when a session is already armed, 501 under obs-OFF.
+  void serve_profile_once(int fd, std::string_view query);
   /// Publishes fresh windowed percentile gauges from every stage window.
   void flush_stage_windows();
   /// Untracks and closes a connection fd (end of its handler).
@@ -139,6 +151,9 @@ class Daemon {
   // that exhausted it.
   obs::Counter& m_deadline_hit_;
   obs::Counter* m_deadline_miss_[kNumStages];
+
+  // On-demand /profile requests served (any status).
+  obs::Counter& m_profile_requests_;
 
   std::atomic<std::uint64_t> traced_batches_{0};
 };

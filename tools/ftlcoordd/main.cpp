@@ -28,7 +28,9 @@ void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [flags]\n"
                "  --port N               decide/report port (default 7400; 0 = ephemeral)\n"
-               "  --metrics-port N       Prometheus /metrics port (default 7401; 0 = ephemeral)\n"
+               "  --metrics-port N       Prometheus /metrics port (default 7401; 0 = ephemeral);\n"
+               "                         also serves GET /profile?seconds=N&hz=H — an on-demand\n"
+               "                         CPU profile as FlameGraph folded stacks\n"
                "  --sources N            independent pair sources (default 1)\n"
                "  --slots N              QNIC slots per source (default: qnet memory_slots)\n"
                "  --max-pending N        admission bound on in-flight decisions (default 65536)\n"
