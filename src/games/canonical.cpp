@@ -1,0 +1,318 @@
+#include "games/canonical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace ftl::games {
+
+namespace {
+
+/// -0.0 -> +0.0 so orbit-equal matrices serialise identically (cost
+/// matrices genuinely contain -0.0: zero-probability inputs with f = 1).
+double norm_zero(double v) { return v == 0.0 ? 0.0 : v; }
+
+/// The canonicalisation search. Columns live in an ordered partition of
+/// "cells" — groups still interchangeable given the rows placed so far.
+/// Each column carries a sign that is unresolved until the first placed row
+/// with a nonzero entry there fixes it (to whatever renders that entry
+/// positive, i.e. lexicographically maximal).
+struct Canonicalizer {
+  std::vector<std::vector<double>> m;  // -0-normalised input
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::uint64_t node_cap = 0;
+
+  std::uint64_t nodes = 0;
+  bool aborted = false;
+  bool have_best = false;
+  std::vector<double> best;  // lex-max emitted matrix so far
+
+  struct State {
+    std::vector<std::vector<std::size_t>> cells;  // ordered column partition
+    std::vector<double> col_sign;                 // +-1 per column
+    std::vector<char> resolved;                   // sign fixed yet?
+    std::vector<std::pair<std::size_t, int>> placed;  // (row, sign)
+    std::uint32_t used = 0;                       // bitmask of placed rows
+    bool any_resolved = false;
+  };
+
+  /// Rendered string of candidate row `r` with sign `s`: per cell, the
+  /// entries as they would appear after the within-cell descending sort
+  /// the final matrix is free to apply.
+  [[nodiscard]] std::vector<double> render(const State& st, std::size_t r,
+                                           int s) const {
+    std::vector<double> out;
+    out.reserve(ny);
+    std::vector<double> cell_vals;
+    for (const auto& cell : st.cells) {
+      cell_vals.clear();
+      for (std::size_t c : cell) {
+        const double v = m[r][c];
+        const double adj = st.resolved[c]
+                               ? norm_zero(static_cast<double>(s) *
+                                           st.col_sign[c] * v)
+                               : std::abs(v);
+        cell_vals.push_back(adj);
+      }
+      std::sort(cell_vals.begin(), cell_vals.end(), std::greater<>());
+      out.insert(out.end(), cell_vals.begin(), cell_vals.end());
+    }
+    return out;
+  }
+
+  /// Places (r, s): refines every cell by the row's rendered values
+  /// (descending groups) and resolves pending column signs at nonzero
+  /// entries.
+  [[nodiscard]] State place(const State& st, std::size_t r, int s) const {
+    State next;
+    next.col_sign = st.col_sign;
+    next.resolved = st.resolved;
+    next.placed = st.placed;
+    next.placed.emplace_back(r, s);
+    next.used = st.used | (std::uint32_t{1} << r);
+    next.any_resolved = st.any_resolved;
+    const double sd = static_cast<double>(s);
+    for (const auto& cell : st.cells) {
+      // Resolve signs first so grouping uses the final adjusted values.
+      std::vector<std::pair<double, std::size_t>> adj;
+      adj.reserve(cell.size());
+      for (std::size_t c : cell) {
+        const double v = m[r][c];
+        if (!next.resolved[c] && v != 0.0) {
+          next.resolved[c] = 1;
+          next.col_sign[c] = sd * v > 0.0 ? 1.0 : -1.0;
+          next.any_resolved = true;
+        }
+        const double a = next.resolved[c]
+                             ? norm_zero(sd * next.col_sign[c] * v)
+                             : 0.0;  // unresolved => v == 0
+        adj.emplace_back(a, c);
+      }
+      std::stable_sort(adj.begin(), adj.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first > b.first;
+                       });
+      std::size_t i = 0;
+      while (i < adj.size()) {
+        std::size_t j = i;
+        next.cells.emplace_back();
+        while (j < adj.size() && adj[j].first == adj[i].first) {
+          next.cells.back().push_back(adj[j].second);
+          ++j;
+        }
+        i = j;
+      }
+    }
+    return next;
+  }
+
+  void emit(const State& st) {
+    std::vector<double> out;
+    out.reserve(nx * ny);
+    for (const auto& [r, s] : st.placed) {
+      const double sd = static_cast<double>(s);
+      for (const auto& cell : st.cells) {
+        for (std::size_t c : cell) {
+          const double v = m[r][c];
+          out.push_back(st.resolved[c] ? norm_zero(sd * st.col_sign[c] * v)
+                                       : 0.0);
+        }
+      }
+    }
+    if (!have_best || out > best) {
+      best = std::move(out);
+      have_best = true;
+    }
+  }
+
+  void visit(const State& st) {
+    if (aborted) return;
+    if (++nodes > node_cap) {
+      aborted = true;
+      return;
+    }
+    if (st.placed.size() == nx) {
+      emit(st);
+      return;
+    }
+    // Candidates: every unplaced row, both signs once any column sign is
+    // resolved. Before that, +1 only: the global flip (all row and column
+    // signs at once) maps each completion to one with identical rendering,
+    // so exploring both halves of that symmetry is pure waste.
+    std::vector<std::tuple<std::size_t, int, std::vector<double>>> cands;
+    std::vector<double> best_str;
+    for (std::size_t r = 0; r < nx; ++r) {
+      if ((st.used >> r) & 1u) continue;
+      const int lo = st.any_resolved ? -1 : 1;
+      for (int s = 1; s >= lo; s -= 2) {
+        std::vector<double> str = render(st, r, s);
+        if (cands.empty() || str > best_str) {
+          best_str = str;
+          cands.clear();
+          cands.emplace_back(r, s, std::move(str));
+        } else if (str == best_str) {
+          cands.emplace_back(r, s, std::move(str));
+        }
+      }
+    }
+    for (const auto& [r, s, str] : cands) {
+      visit(place(st, r, s));
+      if (aborted) return;
+    }
+  }
+};
+
+std::string serialize(std::size_t nx, std::size_t ny,
+                      const std::vector<double>& vals) {
+  std::string out;
+  out.reserve(16 + vals.size() * 8);
+  const auto push_u64 = [&out](std::uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out.append(buf, 8);
+  };
+  push_u64(nx);
+  push_u64(ny);
+  for (double v : vals) {
+    std::uint64_t bits;
+    const double nv = norm_zero(v);
+    std::memcpy(&bits, &nv, 8);
+    push_u64(bits);
+  }
+  return out;
+}
+
+std::string raw_key(const std::vector<std::vector<double>>& m) {
+  std::vector<double> flat;
+  flat.reserve(m.size() * m.front().size());
+  for (const auto& row : m) flat.insert(flat.end(), row.begin(), row.end());
+  return serialize(m.size(), m.front().size(), flat);
+}
+
+}  // namespace
+
+std::string CanonicalForm::key() const {
+  if (!complete) return {};
+  return serialize(nx, ny, matrix);
+}
+
+CanonicalForm canonical_form(const std::vector<std::vector<double>>& m,
+                             const CanonicalOptions& opts) {
+  const std::size_t nx = m.size();
+  FTL_ASSERT(nx >= 1 && !m.front().empty());
+  const std::size_t ny = m.front().size();
+  FTL_ASSERT_MSG(nx <= 32, "row bitmask is 32 bits");
+
+  Canonicalizer cz;
+  cz.m.assign(nx, std::vector<double>(ny, 0.0));
+  for (std::size_t x = 0; x < nx; ++x) {
+    FTL_ASSERT_MSG(m[x].size() == ny, "ragged matrix");
+    for (std::size_t y = 0; y < ny; ++y) {
+      FTL_ASSERT(std::isfinite(m[x][y]));
+      cz.m[x][y] = norm_zero(m[x][y]);
+    }
+  }
+  cz.nx = nx;
+  cz.ny = ny;
+  cz.node_cap = opts.node_cap;
+
+  Canonicalizer::State root;
+  root.cells.emplace_back(ny);
+  for (std::size_t c = 0; c < ny; ++c) root.cells.back()[c] = c;
+  root.col_sign.assign(ny, 1.0);
+  root.resolved.assign(ny, 0);
+  cz.visit(root);
+
+  CanonicalForm out;
+  out.nx = nx;
+  out.ny = ny;
+  out.nodes = cz.nodes;
+  out.complete = !cz.aborted;
+  if (out.complete) {
+    FTL_ASSERT(cz.have_best);
+    out.matrix = std::move(cz.best);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> relabel_cost_matrix(
+    const std::vector<std::vector<double>>& m,
+    const std::vector<std::size_t>& row_perm,
+    const std::vector<std::size_t>& col_perm,
+    const std::vector<int>& row_sign, const std::vector<int>& col_sign) {
+  const std::size_t nx = m.size();
+  const std::size_t ny = m.front().size();
+  FTL_ASSERT(row_perm.size() == nx && row_sign.size() == nx);
+  FTL_ASSERT(col_perm.size() == ny && col_sign.size() == ny);
+  std::vector<std::vector<double>> out(nx, std::vector<double>(ny, 0.0));
+  for (std::size_t x = 0; x < nx; ++x) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      const double s =
+          static_cast<double>(row_sign[x]) * static_cast<double>(col_sign[y]);
+      out[x][y] = s * m[row_perm[x]][col_perm[y]];
+    }
+  }
+  return out;
+}
+
+XorValueCache::XorValueCache(CanonicalOptions opts) : opts_(opts) {}
+
+std::optional<CachedXorValue> XorValueCache::lookup(
+    const std::vector<std::vector<double>>& m) {
+  auto& reg = obs::registry();
+  reg.counter("games.cache.lookups").inc();
+  ++stats_.lookups;
+
+  pending_raw_key_ = raw_key(m);
+  pending_canon_key_.clear();
+  pending_valid_ = true;
+
+  if (const auto it = raw_.find(pending_raw_key_); it != raw_.end()) {
+    reg.counter("games.cache.hits").inc();
+    ++stats_.hits_exact;
+    return it->second;
+  }
+  const CanonicalForm cf = canonical_form(m, opts_);
+  if (!cf.complete) {
+    reg.counter("games.cache.canonical_bailouts").inc();
+    ++stats_.canonical_bailouts;
+  } else {
+    pending_canon_key_ = cf.key();
+    if (const auto it = canon_.find(pending_canon_key_); it != canon_.end()) {
+      reg.counter("games.cache.hits").inc();
+      ++stats_.hits_canonical;
+      // Promote to the exact map so byte-identical repeats skip
+      // canonicalisation next time.
+      raw_.emplace(pending_raw_key_, it->second);
+      return it->second;
+    }
+  }
+  reg.counter("games.cache.misses").inc();
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void XorValueCache::insert(const std::vector<std::vector<double>>& m,
+                           const CachedXorValue& v) {
+  std::string rk;
+  std::string ck;
+  if (pending_valid_ && pending_raw_key_ == raw_key(m)) {
+    rk = pending_raw_key_;
+    ck = pending_canon_key_;
+  } else {
+    rk = raw_key(m);
+    const CanonicalForm cf = canonical_form(m, opts_);
+    if (cf.complete) ck = cf.key();
+  }
+  pending_valid_ = false;
+  raw_[rk] = v;
+  if (!ck.empty()) canon_[ck] = v;
+  obs::registry().counter("games.cache.insertions").inc();
+  ++stats_.insertions;
+}
+
+}  // namespace ftl::games

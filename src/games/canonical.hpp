@@ -1,0 +1,128 @@
+// Canonical forms of XOR-game cost matrices, and a value cache keyed on
+// them.
+//
+// Two XOR games have identical classical and quantum values whenever their
+// cost matrices are related by question relabelings (independent row and
+// column permutations) and sign symmetry (flipping the sign of a row or a
+// column — relabeling the corresponding player's answer bit for that
+// question). A Fig-3 sweep draws thousands of random affinity games that
+// recur up to exactly these symmetries, so memoising values by an orbit
+// representative turns repeated solves into lookups.
+//
+// `canonical_form` computes a true orbit representative: the lexicographic
+// maximum (row-major) of the matrix over the full group, found by
+// row-by-row placement with column-partition refinement — pick the row
+// (and row sign) whose rendered string is lexicographically greatest,
+// branch on ties, refine the columns into cells of still-interchangeable
+// positions, and quotient the global sign flip by pinning the first
+// resolved sign. All tied branches are explored (no best-first pruning), so
+// the visited node count is a function of the isomorphism class alone; the
+// search aborts at `node_cap` nodes, and because the cap decision is
+// label-independent, *whether* a game canonicalises is itself invariant —
+// a highly symmetric matrix bails out under every labeling, never under
+// only some. Soundness is unconditional: a returned form is reachable from
+// the input by group operations, so equal forms imply equivalent games.
+//
+// All comparisons are exact double comparisons (the only arithmetic is
+// negation, which is exact in IEEE-754); negative zeros are normalised so
+// orbit-equal matrices serialise to identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ftl::games {
+
+struct CanonicalOptions {
+  /// Abort the tie-branching search beyond this many placements. Random
+  /// games refine to singleton cells immediately (nodes = num_x + 1);
+  /// only automorphism-rich matrices (complete graphs, constant matrices)
+  /// approach the cap, and those bail out identically for every labeling.
+  std::uint64_t node_cap = 50000;
+};
+
+struct CanonicalForm {
+  /// False when the node cap was hit; `matrix` is empty in that case.
+  bool complete = false;
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  /// Row-major lex-max orbit representative (only when `complete`).
+  std::vector<double> matrix;
+  /// Placements visited; invariant under relabeling of the input.
+  std::uint64_t nodes = 0;
+
+  /// Byte-exact serialisation usable as a hash-map key; empty when
+  /// incomplete.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Orbit representative of `m` under row/column permutations and sign
+/// flips. Deterministic; exact (no arithmetic beyond negation).
+[[nodiscard]] CanonicalForm canonical_form(
+    const std::vector<std::vector<double>>& m,
+    const CanonicalOptions& opts = {});
+
+/// Applies a group element to a cost matrix: row/column permutations and
+/// +-1 sign vectors. Exposed for the invariance property tests.
+[[nodiscard]] std::vector<std::vector<double>> relabel_cost_matrix(
+    const std::vector<std::vector<double>>& m,
+    const std::vector<std::size_t>& row_perm,
+    const std::vector<std::size_t>& col_perm,
+    const std::vector<int>& row_sign, const std::vector<int>& col_sign);
+
+struct CachedXorValue {
+  double classical_bias = 0.0;
+  double quantum_bias = 0.0;
+  bool quantum_converged = false;
+};
+
+/// Two-level value cache: an exact-matrix map catches byte-identical
+/// repeats (the degenerate sweep densities where every sampled graph is the
+/// same game), the canonical map catches symmetry-equivalent recurrences.
+/// Games whose canonicalisation bails out are cached under the exact key
+/// only — soundness is never traded for hit rate.
+///
+/// Counter conservation (asserted in tests): lookups = hits + misses,
+/// hits = hits_exact + hits_canonical, and with the engine's
+/// insert-after-every-miss discipline, insertions = misses.
+class XorValueCache {
+ public:
+  explicit XorValueCache(CanonicalOptions opts = {});
+
+  /// Returns the cached value, or nullopt on miss. Single-threaded; the
+  /// canonicalisation is memoised for an immediately following insert of
+  /// the same matrix.
+  [[nodiscard]] std::optional<CachedXorValue> lookup(
+      const std::vector<std::vector<double>>& m);
+
+  /// Stores `v` under the exact key and (when canonicalisation completed)
+  /// the canonical key.
+  void insert(const std::vector<std::vector<double>>& m,
+              const CachedXorValue& v);
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits_exact = 0;
+    std::uint64_t hits_canonical = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t canonical_bailouts = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return canon_.size() + raw_.size(); }
+
+ private:
+  CanonicalOptions opts_;
+  std::unordered_map<std::string, CachedXorValue> raw_;
+  std::unordered_map<std::string, CachedXorValue> canon_;
+  Stats stats_;
+  // Canonicalisation memo for the lookup-then-insert pattern.
+  std::string pending_raw_key_;
+  std::string pending_canon_key_;
+  bool pending_valid_ = false;
+};
+
+}  // namespace ftl::games

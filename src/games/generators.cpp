@@ -1,5 +1,6 @@
 #include "games/generators.hpp"
 
+#include <cmath>
 #include <vector>
 
 #include "qcore/generators.hpp"
@@ -36,6 +37,102 @@ XorGame random_xor_game(std::size_t num_x, std::size_t num_y,
     for (std::size_t y = 0; y < num_y; ++y) pi[x][y] = flat[x * num_y + y];
   }
   return XorGame(std::move(f), std::move(pi));
+}
+
+XorGame symmetric_random_xor_game(std::size_t n, util::Rng& rng) {
+  FTL_ASSERT(n >= 1);
+  std::vector<std::vector<int>> f(n, std::vector<int>(n, 0));
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = x; y < n; ++y) {
+      const int bit = rng.bernoulli(0.5) ? 1 : 0;
+      f[x][y] = bit;
+      f[y][x] = bit;
+    }
+  }
+  return XorGame(std::move(f), TwoPartyGame::uniform_inputs(n, n));
+}
+
+XorGame odd_cycle_game(std::size_t n) {
+  FTL_ASSERT_MSG(n >= 3 && n % 2 == 1, "odd cycle needs odd n >= 3");
+  std::vector<std::vector<int>> f(n, std::vector<int>(n, 0));
+  std::vector<std::vector<double>> pi(n, std::vector<double>(n, 0.0));
+  const double w = 1.0 / static_cast<double>(2 * n);
+  for (std::size_t x = 0; x < n; ++x) {
+    pi[x][x] = w;  // same vertex: answers must agree (f = 0)
+    const std::size_t nxt = (x + 1) % n;
+    pi[x][nxt] = w;
+    f[x][nxt] = 1;  // cycle edge: answers must differ
+  }
+  return XorGame(std::move(f), std::move(pi));
+}
+
+double odd_cycle_classical_bias(std::size_t n) {
+  FTL_ASSERT(n >= 3 && n % 2 == 1);
+  return 1.0 - 1.0 / static_cast<double>(n);
+}
+
+double odd_cycle_quantum_bias(std::size_t n) {
+  FTL_ASSERT(n >= 3 && n % 2 == 1);
+  return std::cos(M_PI / (2.0 * static_cast<double>(n)));
+}
+
+std::optional<double> unfrustrated_bias(
+    const std::vector<std::vector<double>>& m) {
+  const std::size_t nx = m.size();
+  FTL_ASSERT(nx >= 1 && !m.front().empty());
+  const std::size_t ny = m.front().size();
+  // 2-colour the bipartite graph whose edges are the nonzero entries, with
+  // parity "signs differ" on negative entries. Iterative DFS; colours are
+  // +-1, 0 = unvisited. Rows are nodes [0, nx), columns [nx, nx + ny).
+  std::vector<int> colour(nx + ny, 0);
+  std::vector<std::size_t> stack;
+  for (std::size_t start = 0; start < nx + ny; ++start) {
+    if (colour[start] != 0) continue;
+    colour[start] = 1;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      if (u < nx) {
+        for (std::size_t y = 0; y < ny; ++y) {
+          const double v = m[u][y];
+          if (v == 0.0) continue;
+          const int want = v > 0.0 ? colour[u] : -colour[u];
+          int& c = colour[nx + y];
+          if (c == 0) {
+            c = want;
+            stack.push_back(nx + y);
+          } else if (c != want) {
+            return std::nullopt;  // frustrated: no consistent signs exist
+          }
+        }
+      } else {
+        const std::size_t y = u - nx;
+        for (std::size_t x = 0; x < nx; ++x) {
+          const double v = m[x][y];
+          if (v == 0.0) continue;
+          const int want = v > 0.0 ? colour[u] : -colour[u];
+          int& c = colour[x];
+          if (c == 0) {
+            c = want;
+            stack.push_back(x);
+          } else if (c != want) {
+            return std::nullopt;
+          }
+        }
+      }
+    }
+  }
+  // Aligned signs make every column sum to +-(sum |m|): bias = sum |m|,
+  // accumulated in the exhaustive search's column-major schedule so the
+  // two paths agree to rounding noise on sign-consistent games.
+  double bias = 0.0;
+  for (std::size_t y = 0; y < ny; ++y) {
+    double col = 0.0;
+    for (std::size_t x = 0; x < nx; ++x) col += std::abs(m[x][y]);
+    bias += col;
+  }
+  return bias;
 }
 
 QuantumStrategy random_quantum_strategy(std::size_t num_x, std::size_t num_y,

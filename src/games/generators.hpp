@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <vector>
 
 #include "games/box.hpp"
 #include "games/strategy.hpp"
@@ -17,6 +19,39 @@ namespace ftl::games {
 /// (normalised-exponential) input distribution with full support.
 [[nodiscard]] XorGame random_xor_game(std::size_t num_x, std::size_t num_y,
                                       util::Rng& rng);
+
+/// Ambainis–Iraids ensemble (arXiv:1302.2347): symmetric fair-coin
+/// predicate f[x][y] = f[y][x] on n inputs per player, uniform input
+/// distribution. Random symmetric XOR games separate the classical and
+/// quantum values with probability -> 1, which makes the family the
+/// canonical stress ensemble for the value engine; exact per-instance
+/// closed forms exist only for structured members (see odd_cycle_game and
+/// unfrustrated_bias below — the AI paper's results are asymptotic).
+[[nodiscard]] XorGame symmetric_random_xor_game(std::size_t n,
+                                                util::Rng& rng);
+
+/// The odd-cycle XOR game (Cleve–Høyer–Toner–Watrous §5.3, the workhorse
+/// example of the symmetric-game literature): n odd vertices, inputs
+/// uniform over the 2n promise pairs y in {x, x+1 mod n}; equal inputs must
+/// agree, adjacent inputs must differ — a 2-colouring game on an odd cycle.
+/// Both values are provable closed forms at every size, which makes the
+/// family an exact oracle for 3..11-vertex engine runs:
+///   classical value = 1 - 1/(2n)   (one cycle edge must fail)
+///   quantum value   = cos^2(pi/(4n))
+[[nodiscard]] XorGame odd_cycle_game(std::size_t n);
+
+/// Closed-form biases of odd_cycle_game(n): 1 - 1/n and cos(pi/(2n)).
+[[nodiscard]] double odd_cycle_classical_bias(std::size_t n);
+[[nodiscard]] double odd_cycle_quantum_bias(std::size_t n);
+
+/// Exact closed form for *unfrustrated* cost matrices: if signs s_x, t_y
+/// exist with s_x * t_y * m[x][y] >= 0 for every entry (checked exactly by
+/// 2-colouring the nonzero-entry bipartite graph), the aligned strategy is
+/// optimal and classical = quantum = sum |m[x][y]|. Covers every p = 0
+/// affinity graph and, more generally, all frustration-free games. Returns
+/// nullopt when the game is frustrated.
+[[nodiscard]] std::optional<double> unfrustrated_bias(
+    const std::vector<std::vector<double>>& m);
 
 /// Random one-qubit-per-player strategy: Haar state (pure, or a full-rank
 /// mixed state when `mixed`), Haar measurement basis per input.

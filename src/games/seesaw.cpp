@@ -128,27 +128,49 @@ SeesawResult seesaw_optimize(const TwoPartyGame& game,
   int best_rounds = 0;
   bool best_converged = false;
 
+  const bool have_warm = opts.warm_start != nullptr &&
+                         opts.warm_start->num_x() == nx &&
+                         opts.warm_start->num_y() == ny;
+  if (have_warm) obs::registry().counter("games.seesaw.warm_starts").inc();
+
   for (int restart = 0; restart < opts.restarts; ++restart) {
     m_restarts.inc();
     const obs::ScopedHistogramTimer restart_timer(m_restart_us);
-    // Random initial pure state and random rank-1 effects.
-    std::vector<Cx> psi = random_state(rng);
-    CMat rho = CMat::outer(psi, psi);
+    CMat rho;
     std::vector<Effects> alice(nx);
     std::vector<Effects> bob(ny);
-    for (auto& e : alice) {
-      const std::vector<Cx> v = random_state(rng);
-      const std::vector<Cx> q{v[0], v[1]};
-      std::vector<Cx> qn = q;
-      qcore::normalize(qn);
-      e.outcome0 = CMat::outer(qn, qn);
-    }
-    for (auto& e : bob) {
-      const std::vector<Cx> v = random_state(rng);
-      const std::vector<Cx> q{v[2], v[3]};
-      std::vector<Cx> qn = q;
-      qcore::normalize(qn);
-      e.outcome0 = CMat::outer(qn, qn);
+    if (restart == 0 && have_warm) {
+      // Resume from the warm strategy: its state, and rank-1 effects from
+      // each measurement basis's outcome-0 column.
+      rho = opts.warm_start->state().matrix();
+      for (std::size_t x = 0; x < nx; ++x) {
+        const CMat& b = opts.warm_start->alice_basis(x);
+        const std::vector<Cx> col{b.at(0, 0), b.at(1, 0)};
+        alice[x].outcome0 = CMat::outer(col, col);
+      }
+      for (std::size_t y = 0; y < ny; ++y) {
+        const CMat& b = opts.warm_start->bob_basis(y);
+        const std::vector<Cx> col{b.at(0, 0), b.at(1, 0)};
+        bob[y].outcome0 = CMat::outer(col, col);
+      }
+    } else {
+      // Random initial pure state and random rank-1 effects.
+      std::vector<Cx> psi = random_state(rng);
+      rho = CMat::outer(psi, psi);
+      for (auto& e : alice) {
+        const std::vector<Cx> v = random_state(rng);
+        const std::vector<Cx> q{v[0], v[1]};
+        std::vector<Cx> qn = q;
+        qcore::normalize(qn);
+        e.outcome0 = CMat::outer(qn, qn);
+      }
+      for (auto& e : bob) {
+        const std::vector<Cx> v = random_state(rng);
+        const std::vector<Cx> q{v[2], v[3]};
+        std::vector<Cx> qn = q;
+        qcore::normalize(qn);
+        e.outcome0 = CMat::outer(qn, qn);
+      }
     }
 
     double prev = projector_value(game, rho, alice, bob);

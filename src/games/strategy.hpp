@@ -25,6 +25,12 @@ class QuantumStrategy {
   [[nodiscard]] std::size_t num_x() const { return alice_bases_.size(); }
   [[nodiscard]] std::size_t num_y() const { return bob_bases_.size(); }
   [[nodiscard]] const qcore::Density& state() const { return state_; }
+  [[nodiscard]] const qcore::CMat& alice_basis(std::size_t x) const {
+    return alice_bases_[x];
+  }
+  [[nodiscard]] const qcore::CMat& bob_basis(std::size_t y) const {
+    return bob_bases_[y];
+  }
 
   /// Exact Born probability P(a, b | x, y).
   [[nodiscard]] double joint_probability(std::size_t x, std::size_t y, int a,

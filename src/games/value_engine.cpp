@@ -1,0 +1,136 @@
+#include "games/value_engine.hpp"
+
+#include <cmath>
+
+#include "games/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ftl::games {
+
+namespace {
+
+/// Exact structural match against the odd_cycle_game(n) cost matrix, up to
+/// a positive scale: diagonal +c, superdiagonal (cyclically) -c, zero
+/// elsewhere. Matching is on the literal layout — relabelled cycles are
+/// the canonical cache's job, not the fast path's.
+struct OddCycleMatch {
+  bool matched = false;
+  std::size_t n = 0;
+  double scale = 0.0;  // 2 * n * c, the total cost mass
+};
+
+OddCycleMatch match_odd_cycle(const std::vector<std::vector<double>>& m) {
+  OddCycleMatch out;
+  const std::size_t n = m.size();
+  if (n < 3 || n % 2 == 0 || m.front().size() != n) return out;
+  const double c = m[0][0];
+  if (!(c > 0.0)) return out;
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::size_t nxt = (x + 1) % n;
+    for (std::size_t y = 0; y < n; ++y) {
+      const double want = y == x ? c : (y == nxt ? -c : 0.0);
+      if (m[x][y] != want) return out;
+    }
+  }
+  out.matched = true;
+  out.n = n;
+  out.scale = 2.0 * static_cast<double>(n) * c;
+  return out;
+}
+
+}  // namespace
+
+XorValueEngine::XorValueEngine(XorValueOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.canonical) {}
+
+XorValueResult XorValueEngine::evaluate(const XorGame& game) {
+  return evaluate(game.cost_matrix());
+}
+
+XorValueResult XorValueEngine::evaluate(
+    const std::vector<std::vector<double>>& cost_matrix) {
+  const obs::ScopedSpan span("games.value_engine.evaluate", "games");
+  auto& reg = obs::registry();
+  reg.counter("games.engine.evaluations").inc();
+  ++stats_.evaluations;
+
+  XorValueResult out;
+  const auto finish = [&](XorValueResult r) {
+    r.advantage = r.quantum_bias > r.classical_bias + opts_.advantage_tol;
+    return r;
+  };
+
+  if (opts_.use_closed_form) {
+    if (const OddCycleMatch oc = match_odd_cycle(cost_matrix); oc.matched) {
+      reg.counter("games.engine.closed_form_hits").inc();
+      ++stats_.closed_form_hits;
+      out.from_closed_form = true;
+      out.classical_bias = odd_cycle_classical_bias(oc.n) * oc.scale;
+      out.quantum_bias = odd_cycle_quantum_bias(oc.n) * oc.scale;
+      return finish(out);
+    }
+    if (const auto b = unfrustrated_bias(cost_matrix); b.has_value()) {
+      reg.counter("games.engine.closed_form_hits").inc();
+      ++stats_.closed_form_hits;
+      out.from_closed_form = true;
+      out.classical_bias = *b;
+      out.quantum_bias = *b;  // quantum <= sum |m| is attained classically
+      return finish(out);
+    }
+  }
+
+  if (opts_.use_cache) {
+    if (const auto hit = cache_.lookup(cost_matrix); hit.has_value()) {
+      ++stats_.cache_hits;
+      out.from_cache = true;
+      out.classical_bias = hit->classical_bias;
+      out.quantum_bias = hit->quantum_bias;
+      out.quantum_converged = hit->quantum_converged;
+      return finish(out);
+    }
+  }
+
+  // Full solve: bnb for the classical side, warm-started SDP for the
+  // quantum side.
+  reg.counter("games.engine.solved").inc();
+  ++stats_.games_solved;
+  const BnbResult cb = classical_value_bnb(cost_matrix, opts_.bnb);
+  out.classical_bias = cb.bias;
+
+  const std::size_t nx = cost_matrix.size();
+  const std::size_t ny = cost_matrix.front().size();
+  sdp::GramOptions sdp = opts_.sdp;
+  // Deterministic per-solve stream: cache hits and closed-form shortcuts
+  // must not shift later solves' seeds, so the index counts solves only.
+  std::uint64_t mix = opts_.sdp.seed ^ (solve_index_ + 1);
+  sdp.seed = util::splitmix64(mix);
+  ++solve_index_;
+  if (opts_.use_warm_start && last_nx_ == nx && last_ny_ == ny &&
+      !last_rows_.empty()) {
+    sdp.warm_rows = last_rows_;
+    reg.counter("games.engine.warm_starts").inc();
+    ++stats_.warm_starts;
+  }
+  const sdp::XorBiasResult qb = sdp::xor_quantum_bias(cost_matrix, sdp);
+  out.quantum_bias = qb.bias;
+  out.quantum_converged = qb.converged;
+
+  last_rows_.clear();
+  last_rows_.reserve(nx + ny);
+  last_rows_.insert(last_rows_.end(), qb.alice.begin(), qb.alice.end());
+  last_rows_.insert(last_rows_.end(), qb.bob.begin(), qb.bob.end());
+  last_nx_ = nx;
+  last_ny_ = ny;
+
+  if (opts_.use_cache) {
+    cache_.insert(cost_matrix,
+                  CachedXorValue{out.classical_bias, out.quantum_bias,
+                                 out.quantum_converged});
+  }
+  return finish(out);
+}
+
+}  // namespace ftl::games

@@ -1,0 +1,92 @@
+// The fast exact XOR-game value engine the scaled Fig-3 sweep runs on.
+//
+// One evaluate() call returns the classical and quantum biases of an XOR
+// game, routed through four speed layers — every one cross-checked against
+// a slow exact oracle in the test suite:
+//
+//   1. closed forms  — games matching a provably-solved family (odd-cycle
+//      games, frustration-free games) are answered by formula, no search;
+//   2. value cache   — exact-matrix and canonical-form lookups return
+//      previously solved values for byte-identical or symmetry-equivalent
+//      games (games/canonical);
+//   3. branch and bound — the classical bias comes from games/bnb,
+//      bit-identical to the exhaustive 2^{num_x} search at a fraction of
+//      the node visits;
+//   4. warm-started SDP — the quantum bias reuses the previous solve's
+//      Tsirelson rows as restart 0, cutting coordinate-ascent sweeps on
+//      sweeps of near-identical games.
+//
+// The engine is deterministic: per-solve SDP seeds derive from the base
+// seed and a solve index, so a sweep's counters (games solved, cache hits,
+// bnb nodes, gram sweeps) are a pure function of (seed, game sequence) —
+// which is what lets CI gate them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "games/bnb.hpp"
+#include "games/canonical.hpp"
+#include "games/xor_game.hpp"
+#include "sdp/tsirelson.hpp"
+
+namespace ftl::games {
+
+struct XorValueOptions {
+  /// Base SDP options; the per-solve seed is derived from `sdp.seed` and
+  /// the engine's solve index.
+  sdp::GramOptions sdp;
+  bool use_closed_form = true;
+  bool use_cache = true;
+  bool use_warm_start = true;
+  /// Quantum bias must exceed classical by more than this to count as an
+  /// advantage (matches the Fig-3 benches' tolerance).
+  double advantage_tol = 1e-5;
+  CanonicalOptions canonical;
+  BnbOptions bnb;
+};
+
+struct XorValueResult {
+  double classical_bias = 0.0;
+  double quantum_bias = 0.0;
+  bool advantage = false;
+  bool from_closed_form = false;
+  bool from_cache = false;
+  /// Meaningful only when the SDP actually ran this call.
+  bool quantum_converged = true;
+};
+
+class XorValueEngine {
+ public:
+  explicit XorValueEngine(XorValueOptions opts = {});
+
+  [[nodiscard]] XorValueResult evaluate(const XorGame& game);
+  [[nodiscard]] XorValueResult evaluate(
+      const std::vector<std::vector<double>>& cost_matrix);
+
+  struct Stats {
+    std::uint64_t evaluations = 0;
+    /// Calls that fell through to the solvers (bnb + SDP).
+    std::uint64_t games_solved = 0;
+    std::uint64_t closed_form_hits = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t warm_starts = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const XorValueCache::Stats& cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  XorValueOptions opts_;
+  XorValueCache cache_;
+  Stats stats_;
+  // Warm-start memory: the previous solve's Gram rows (Alice then Bob) and
+  // the game shape they belong to.
+  std::vector<std::vector<double>> last_rows_;
+  std::size_t last_nx_ = 0;
+  std::size_t last_ny_ = 0;
+  std::uint64_t solve_index_ = 0;
+};
+
+}  // namespace ftl::games

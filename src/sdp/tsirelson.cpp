@@ -1,5 +1,6 @@
 #include "sdp/tsirelson.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/metrics.hpp"
@@ -59,10 +60,33 @@ GramResult max_gram(const SymMatrix& c, const GramOptions& opts) {
   GramResult best;
   best.value = -1e300;
 
+  const bool have_warm = opts.warm_rows.size() == n;
+  if (have_warm) obs::registry().counter("sdp.gram.warm_starts").inc();
+
   std::vector<std::vector<double>> rows(n);
   std::vector<double> grad(rank);
   for (int restart = 0; restart < opts.restarts; ++restart) {
-    random_unit_rows(rows, rank, rng);
+    if (restart == 0 && have_warm) {
+      // Restart 0 resumes from the caller's rows; rows that are too short
+      // are zero-padded, degenerate (near-zero) rows fall back to random.
+      for (std::size_t i = 0; i < n; ++i) {
+        rows[i].assign(rank, 0.0);
+        const auto& w = opts.warm_rows[i];
+        for (std::size_t k = 0; k < std::min(rank, w.size()); ++k) {
+          rows[i][k] = w[k];
+        }
+        const double nrm = vec_norm(rows[i]);
+        if (nrm < 1e-12) {
+          std::vector<std::vector<double>> one(1);
+          random_unit_rows(one, rank, rng);
+          rows[i] = std::move(one.front());
+        } else {
+          for (double& x : rows[i]) x /= nrm;
+        }
+      }
+    } else {
+      random_unit_rows(rows, rank, rng);
+    }
     double prev = objective(c, rows);
     int sweep = 0;
     bool converged = false;

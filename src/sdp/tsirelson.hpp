@@ -49,6 +49,13 @@ struct GramOptions {
   /// Stop a restart when a full sweep improves the objective by less.
   double tol = 1e-10;
   std::uint64_t seed = 12345;
+  /// Optional warm start: when `warm_rows.size() == n`, restart 0 begins
+  /// from these rows (renormalised, padded/truncated to `rank`) instead of
+  /// random ones; the remaining restarts stay random. Adjacent games in a
+  /// Fig-3 sweep differ in a single predicate entry, so the previous
+  /// game's Gram rows sit near the new optimum and converge in a handful
+  /// of sweeps (counted by sdp.gram.warm_starts / sdp.gram.sweeps).
+  std::vector<std::vector<double>> warm_rows;
 };
 
 struct GramResult {

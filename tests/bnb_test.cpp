@@ -1,0 +1,174 @@
+// Oracle-equivalence suite for games::classical_value_bnb (ISSUE: the
+// Fig-3 scale-up rests on bnb being a drop-in replacement for the
+// exhaustive classical search). The headline property is *bit-exact*
+// equality — `==` on doubles, no tolerance — against
+// XorGame::classical_bias() for every random game up to n + m = 12,
+// which is the contract that lets the benches swap solvers without
+// perturbing a single reported number.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "games/affinity.hpp"
+#include "games/bnb.hpp"
+#include "games/generators.hpp"
+#include "games/xor_game.hpp"
+#include "util/proptest.hpp"
+
+namespace {
+
+using ftl::games::AffinityGraph;
+using ftl::games::BnbResult;
+using ftl::games::classical_value_bnb;
+using ftl::games::XorGame;
+using ftl::proptest::CaseResult;
+using ftl::proptest::for_all;
+using ftl::proptest::Options;
+using ftl::util::Rng;
+
+Options suite(const std::string& name, std::size_t cases) {
+  Options o;
+  o.name = name;
+  o.cases = cases;
+  return o;
+}
+
+// Bias of a deterministic strategy in the exhaustive search's evaluation
+// order (columns over x ascending, |col| over y ascending) — the order
+// both solvers' values are defined in.
+double strategy_bias(const std::vector<std::vector<double>>& m,
+                     const std::vector<int>& alice,
+                     const std::vector<int>& bob) {
+  double bias = 0.0;
+  for (std::size_t y = 0; y < m.front().size(); ++y) {
+    double col = 0.0;
+    for (std::size_t x = 0; x < m.size(); ++x) {
+      col += m[x][y] * (alice[x] == 0 ? 1.0 : -1.0);
+    }
+    bias += col * (bob[y] == 0 ? 1.0 : -1.0);
+  }
+  return bias;
+}
+
+CaseResult check_oracle_equivalence(const XorGame& game) {
+  const double exhaustive = game.classical_bias();
+  const BnbResult r = classical_value_bnb(game);
+
+  // The tentpole contract: IDENTICAL doubles, not approximately equal.
+  if (r.bias != exhaustive) {
+    std::ostringstream msg;
+    msg.precision(17);
+    msg << "bnb bias " << r.bias << " != exhaustive " << exhaustive
+        << " (diff " << r.bias - exhaustive << ")";
+    return CaseResult::fail(msg.str());
+  }
+
+  // Node accounting: never more work than the exhaustive tree, and the
+  // sign quotient alone caps leaves at half the exhaustive count.
+  const std::uint64_t nx = game.num_x();
+  if (r.exhaustive_leaves != (std::uint64_t{1} << nx)) {
+    return CaseResult::fail("exhaustive_leaves != 2^num_x");
+  }
+  if (r.nodes > (std::uint64_t{1} << (nx + game.num_y()))) {
+    return CaseResult::fail("node count exceeds 2^(n+m)");
+  }
+  const std::uint64_t leaf_cap = nx == 0 ? 1 : (std::uint64_t{1} << (nx - 1));
+  if (r.leaves > leaf_cap) {
+    return CaseResult::fail("leaves exceed the sign-quotient cap 2^(n-1)");
+  }
+
+  // The witness must attain the claimed bias exactly: its Bob bits are the
+  // sign readout of its Alice bits, which is precisely leaf evaluation.
+  const double witnessed = strategy_bias(game.cost_matrix(), r.alice, r.bob);
+  if (witnessed != r.bias) {
+    return CaseResult::fail("witness does not attain the bnb bias");
+  }
+  return CaseResult::pass();
+}
+
+TEST(BnbOracle, RandomGamesUpToTwelveInputsMatchExhaustiveBitExactly) {
+  const auto r = for_all(
+      suite("bnb-random", 220),
+      [](Rng& rng) {
+        // All shapes with nx + ny <= 12, nx, ny >= 1.
+        const std::size_t nx =
+            1 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{11}));
+        const std::size_t ny =
+            1 + static_cast<std::size_t>(rng.uniform_int(
+                    static_cast<std::uint64_t>(12 - nx)));
+        return ftl::games::random_xor_game(nx, ny, rng);
+      },
+      check_oracle_equivalence);
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(BnbOracle, SymmetricEnsembleMatchesExhaustiveBitExactly) {
+  const auto r = for_all(
+      suite("bnb-symmetric", 120),
+      [](Rng& rng) {
+        const std::size_t n =
+            2 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{5}));
+        return ftl::games::symmetric_random_xor_game(n, rng);
+      },
+      check_oracle_equivalence);
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(BnbOracle, AffinityGamesMatchExhaustiveBitExactly) {
+  const auto r = for_all(
+      suite("bnb-affinity", 120),
+      [](Rng& rng) {
+        const std::size_t n =
+            3 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{6}));
+        const double p = rng.uniform();
+        const bool diagonal = rng.bernoulli(0.5);
+        return XorGame::from_affinity(AffinityGraph::random(n, p, rng),
+                                      diagonal);
+      },
+      check_oracle_equivalence);
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(BnbOracle, ChshBiasIsExactlyOneHalf) {
+  const BnbResult r = classical_value_bnb(XorGame::chsh());
+  EXPECT_EQ(r.bias, 0.5);
+  const BnbResult flipped = classical_value_bnb(XorGame::chsh(true));
+  EXPECT_EQ(flipped.bias, 0.5);
+}
+
+TEST(BnbOracle, DegenerateShapesWork) {
+  // Single Alice question: one node tree, bias = sum |m|.
+  const std::vector<std::vector<double>> one_row{{0.25, -0.75}};
+  const BnbResult r1 = classical_value_bnb(one_row);
+  EXPECT_EQ(r1.bias, 1.0);
+  EXPECT_EQ(r1.leaves, 1u);
+
+  // Single Bob question.
+  const std::vector<std::vector<double>> one_col{{0.5}, {-0.5}};
+  const BnbResult r2 = classical_value_bnb(one_col);
+  EXPECT_EQ(r2.bias, 1.0);
+}
+
+// The relaxation bound must actually bite at Fig-3 scale: on 12-vertex
+// affinity games the search should visit a small fraction of the
+// exhaustive tree. (The >=10x acceptance number for the full sweep is
+// measured in the bench; this pins a conservative per-game floor so a
+// bound regression fails in the PR suite, not in the nightly.)
+TEST(BnbOracle, PruningBeatsExhaustiveOnTwelveVertexAffinityGames) {
+  Rng rng(42);
+  std::uint64_t total_nodes = 0;
+  std::uint64_t total_exhaustive = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto game =
+        XorGame::from_affinity(AffinityGraph::random(12, 0.5, rng), false);
+    const BnbResult r = classical_value_bnb(game);
+    ASSERT_EQ(r.bias, game.classical_bias());
+    total_nodes += r.nodes;
+    total_exhaustive += r.exhaustive_leaves;
+  }
+  // Sign quotient alone gives 2x; demand clearly more than that on average.
+  EXPECT_LT(total_nodes * 3, total_exhaustive);
+}
+
+}  // namespace

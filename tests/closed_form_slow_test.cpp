@@ -1,0 +1,46 @@
+// Heavy half of the closed-form oracle suite (ctest label: slow): the
+// larger odd-cycle SDPs, run at full restart budget so a Tsirelson solver
+// regression cannot hide behind "the small cases still pass".
+#include <gtest/gtest.h>
+
+#include "games/generators.hpp"
+#include "games/value_engine.hpp"
+
+namespace {
+
+using ftl::games::odd_cycle_classical_bias;
+using ftl::games::odd_cycle_game;
+using ftl::games::odd_cycle_quantum_bias;
+
+TEST(ClosedFormSlow, OddCycleQuantumMatchesTsirelsonUpToEleven) {
+  ftl::sdp::GramOptions opts;
+  opts.seed = 424242;
+  for (std::size_t n : {7u, 9u, 11u}) {
+    const auto game = odd_cycle_game(n);
+    const auto q = game.quantum_bias(opts);
+    EXPECT_TRUE(q.converged) << "n = " << n;
+    EXPECT_NEAR(q.bias, odd_cycle_quantum_bias(n), 1e-6) << "n = " << n;
+    EXPECT_NEAR(game.classical_bias(), odd_cycle_classical_bias(n), 1e-12);
+  }
+}
+
+// The engine with the closed-form layer OFF must still reproduce the
+// formulas through its bnb + SDP path — the strongest cross-check the
+// engine gets: formula vs fully independent solvers at every odd n.
+TEST(ClosedFormSlow, EngineSolverPathReproducesOddCycleFormulas) {
+  ftl::games::XorValueOptions opts;
+  opts.use_closed_form = false;
+  opts.sdp.seed = 31337;
+  ftl::games::XorValueEngine engine(opts);
+  for (std::size_t n : {5u, 7u, 9u, 11u}) {
+    const auto r = engine.evaluate(odd_cycle_game(n));
+    EXPECT_FALSE(r.from_closed_form);
+    EXPECT_NEAR(r.classical_bias, odd_cycle_classical_bias(n), 1e-12)
+        << "n = " << n;
+    EXPECT_NEAR(r.quantum_bias, odd_cycle_quantum_bias(n), 1e-6)
+        << "n = " << n;
+    EXPECT_TRUE(r.advantage);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Closed-form oracle suite (ISSUE satellite): the odd-cycle and
+// unfrustrated-game formulas in games/generators are both a fast path in
+// the value engine and an *oracle* for the solvers — every formula is
+// checked here against the exhaustive classical search, the bnb solver,
+// and the Tsirelson SDP. The heavier odd-n SDP checks live in
+// closed_form_slow_test.cpp (ctest label: slow).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "games/affinity.hpp"
+#include "games/bnb.hpp"
+#include "games/generators.hpp"
+#include "games/value_engine.hpp"
+#include "games/xor_game.hpp"
+#include "util/proptest.hpp"
+
+namespace {
+
+using ftl::games::AffinityGraph;
+using ftl::games::classical_value_bnb;
+using ftl::games::odd_cycle_classical_bias;
+using ftl::games::odd_cycle_game;
+using ftl::games::odd_cycle_quantum_bias;
+using ftl::games::unfrustrated_bias;
+using ftl::games::XorGame;
+using ftl::proptest::CaseResult;
+using ftl::proptest::for_all;
+using ftl::util::Rng;
+
+TEST(ClosedForm, OddCycleClassicalMatchesExhaustiveAndBnb) {
+  for (std::size_t n : {3u, 5u, 7u, 9u, 11u}) {
+    const XorGame game = odd_cycle_game(n);
+    const double exhaustive = game.classical_bias();
+    EXPECT_NEAR(exhaustive, odd_cycle_classical_bias(n), 1e-12)
+        << "n = " << n;
+    EXPECT_EQ(classical_value_bnb(game).bias, exhaustive) << "n = " << n;
+  }
+}
+
+TEST(ClosedForm, OddCycleQuantumMatchesTsirelsonSmall) {
+  ftl::sdp::GramOptions opts;
+  opts.seed = 99;
+  for (std::size_t n : {3u, 5u}) {
+    const auto q = odd_cycle_game(n).quantum_bias(opts);
+    EXPECT_TRUE(q.converged);
+    EXPECT_NEAR(q.bias, odd_cycle_quantum_bias(n), 1e-6) << "n = " << n;
+  }
+}
+
+TEST(ClosedForm, OddCycleFormulasAreTheCHTWValues) {
+  // Spot-check the formulas against their independent derivations:
+  // classical value 1 - 1/(2n) and quantum value cos^2(pi/(4n)),
+  // converted to biases (bias = 2 * value - 1).
+  for (std::size_t n : {3u, 7u, 11u}) {
+    const double nn = static_cast<double>(n);
+    EXPECT_NEAR(odd_cycle_classical_bias(n),
+                2.0 * (1.0 - 1.0 / (2.0 * nn)) - 1.0, 1e-15);
+    const double cosq = std::cos(M_PI / (4.0 * nn));
+    EXPECT_NEAR(odd_cycle_quantum_bias(n), 2.0 * cosq * cosq - 1.0, 1e-15);
+  }
+}
+
+TEST(ClosedForm, UnfrustratedDetectsColocateOnlyAffinityGames) {
+  Rng rng(5);
+  for (std::size_t n : {4u, 8u, 12u}) {
+    const XorGame game =
+        XorGame::from_affinity(AffinityGraph::random(n, 0.0, rng), false);
+    const auto b = unfrustrated_bias(game.cost_matrix());
+    ASSERT_TRUE(b.has_value()) << "n = " << n;
+    // All-Colocate games are won outright: bias = total input mass = 1.
+    EXPECT_NEAR(*b, 1.0, 1e-12);
+    if (n <= 12) {
+      EXPECT_NEAR(*b, classical_value_bnb(game).bias, 1e-12);
+    }
+  }
+}
+
+TEST(ClosedForm, FrustratedGamesReturnNullopt) {
+  EXPECT_FALSE(unfrustrated_bias(XorGame::chsh().cost_matrix()).has_value());
+  EXPECT_FALSE(
+      unfrustrated_bias(odd_cycle_game(3).cost_matrix()).has_value());
+}
+
+TEST(ClosedForm, RandomSignAlignedGamesAreUnfrustrated) {
+  const auto r = for_all(
+      ftl::proptest::Options{"unfrustrated-aligned", 150},
+      [](Rng& rng) {
+        const std::size_t nx =
+            2 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{5}));
+        const std::size_t ny =
+            2 + static_cast<std::size_t>(rng.uniform_int(std::uint64_t{5}));
+        auto m = ftl::games::random_xor_game(nx, ny, rng).cost_matrix();
+        // Align: m'[x][y] = s_x * t_y * |m[x][y]| is unfrustrated by
+        // construction, whatever the signs.
+        std::vector<double> s, t;
+        for (std::size_t x = 0; x < nx; ++x) {
+          s.push_back(rng.bernoulli(0.5) ? 1.0 : -1.0);
+        }
+        for (std::size_t y = 0; y < ny; ++y) {
+          t.push_back(rng.bernoulli(0.5) ? 1.0 : -1.0);
+        }
+        for (std::size_t x = 0; x < nx; ++x) {
+          for (std::size_t y = 0; y < ny; ++y) {
+            m[x][y] = s[x] * t[y] * std::abs(m[x][y]);
+          }
+        }
+        return m;
+      },
+      [](const std::vector<std::vector<double>>& m) {
+        const auto b = unfrustrated_bias(m);
+        if (!b.has_value()) {
+          return CaseResult::fail("aligned matrix reported frustrated");
+        }
+        double mass = 0.0;
+        for (const auto& row : m) {
+          for (double v : row) mass += std::abs(v);
+        }
+        if (std::abs(*b - mass) > 1e-12) {
+          return CaseResult::fail("bias != total mass");
+        }
+        // The solvers must agree the aligned strategy is optimal.
+        if (std::abs(classical_value_bnb(m).bias - *b) > 1e-12) {
+          return CaseResult::fail("bnb disagrees with the closed form");
+        }
+        return CaseResult::pass();
+      });
+  ASSERT_TRUE(r.ok) << r.message;
+}
+
+TEST(ClosedForm, EngineRoutesOddCycleAndUnfrustratedGamesToFormulas) {
+  ftl::games::XorValueEngine engine;
+
+  const auto oc = engine.evaluate(odd_cycle_game(9));
+  EXPECT_TRUE(oc.from_closed_form);
+  // odd_cycle_game has unit total mass, so the scale factor is exactly 1.
+  EXPECT_NEAR(oc.classical_bias, odd_cycle_classical_bias(9), 1e-15);
+  EXPECT_NEAR(oc.quantum_bias, odd_cycle_quantum_bias(9), 1e-15);
+  EXPECT_TRUE(oc.advantage);
+
+  Rng rng(3);
+  const auto colocate =
+      XorGame::from_affinity(AffinityGraph::random(10, 0.0, rng), false);
+  const auto uf = engine.evaluate(colocate);
+  EXPECT_TRUE(uf.from_closed_form);
+  EXPECT_NEAR(uf.classical_bias, 1.0, 1e-12);
+  EXPECT_FALSE(uf.advantage);
+  EXPECT_EQ(engine.stats().games_solved, 0u);
+  EXPECT_EQ(engine.stats().closed_form_hits, 2u);
+}
+
+// Engine values must agree with the direct (unaccelerated) pipeline on
+// games that take the solver path.
+TEST(ClosedForm, EngineSolverPathMatchesDirectSolvers) {
+  ftl::games::XorValueOptions opts;
+  opts.sdp.seed = 1234;
+  opts.sdp.restarts = 6;
+  ftl::games::XorValueEngine engine(opts);
+  Rng rng(17);
+  for (int i = 0; i < 5; ++i) {
+    const auto game = ftl::games::random_xor_game(4, 4, rng);
+    const auto r = engine.evaluate(game);
+    if (r.from_closed_form) continue;  // tiny chance; nothing to compare
+    EXPECT_EQ(r.classical_bias, game.classical_bias());
+    ftl::sdp::GramOptions direct;
+    direct.restarts = 6;
+    direct.seed = 555 + static_cast<std::uint64_t>(i);
+    EXPECT_NEAR(r.quantum_bias, game.quantum_bias(direct).bias, 1e-5);
+  }
+}
+
+}  // namespace

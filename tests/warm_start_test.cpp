@@ -1,0 +1,184 @@
+// Warm-start regression suite (ISSUE satellite): on a recorded sweep of
+// near-identical games, warm-started solves must (a) return the same
+// values as cold solves and (b) spend strictly fewer iterations in
+// aggregate, measured through the existing obs iteration counters
+// (sdp.gram.sweeps, games.seesaw.rounds).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "games/generators.hpp"
+#include "games/seesaw.hpp"
+#include "games/value_engine.hpp"
+#include "games/xor_game.hpp"
+#include "obs/metrics.hpp"
+#include "sdp/tsirelson.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ftl::games::XorGame;
+using ftl::util::Rng;
+
+// Counter-delta assertions only mean something when the real obs backend
+// is compiled in; under the noop backend every counter reads 0.
+bool obs_counters_enabled() {
+  auto& probe = ftl::obs::registry().counter("test.warm_start.probe");
+  probe.inc();
+  return probe.value() > 0;
+}
+
+std::uint64_t counter(const char* name) {
+  return ftl::obs::registry().counter(name).value();
+}
+
+// The recorded sweep: a random 6x6 game, then twelve single-entry
+// predicate flips — the adjacency structure of a Fig-3 density sweep,
+// where consecutive games differ in one affinity edge.
+std::vector<std::vector<std::vector<double>>> recorded_sweep() {
+  Rng rng(271828);
+  std::vector<std::vector<std::vector<double>>> sweep;
+  auto m = ftl::games::random_xor_game(6, 6, rng).cost_matrix();
+  sweep.push_back(m);
+  for (int step = 0; step < 12; ++step) {
+    const auto x = rng.uniform_int(std::uint64_t{6});
+    const auto y = rng.uniform_int(std::uint64_t{6});
+    m[x][y] = -m[x][y];  // flipping f(x,y) negates the cost entry
+    sweep.push_back(m);
+  }
+  return sweep;
+}
+
+TEST(WarmStart, GramWarmStartsMatchColdValuesWithFewerSweeps) {
+  const auto sweep = recorded_sweep();
+
+  // Reference values at a generous restart budget.
+  std::vector<double> reference;
+  for (const auto& m : sweep) {
+    ftl::sdp::GramOptions o;
+    o.restarts = 6;
+    o.seed = 1000;
+    reference.push_back(ftl::sdp::xor_quantum_bias(m, o).bias);
+  }
+
+  const std::uint64_t sweeps_before_cold = counter("sdp.gram.sweeps");
+  std::vector<double> cold;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    ftl::sdp::GramOptions o;
+    o.restarts = 2;
+    o.seed = 2000 + i;
+    cold.push_back(ftl::sdp::xor_quantum_bias(sweep[i], o).bias);
+  }
+  const std::uint64_t cold_sweeps = counter("sdp.gram.sweeps") -
+                                    sweeps_before_cold;
+
+  const std::uint64_t warm_starts_before = counter("sdp.gram.warm_starts");
+  const std::uint64_t sweeps_before_warm = counter("sdp.gram.sweeps");
+  std::vector<double> warm;
+  std::vector<std::vector<double>> prev_rows;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    ftl::sdp::GramOptions o;
+    o.restarts = 2;
+    o.seed = 2000 + i;  // identical budget and seeds as the cold run
+    o.warm_rows = prev_rows;
+    const auto r = ftl::sdp::xor_quantum_bias(sweep[i], o);
+    warm.push_back(r.bias);
+    prev_rows = r.alice;
+    prev_rows.insert(prev_rows.end(), r.bob.begin(), r.bob.end());
+  }
+  const std::uint64_t warm_sweeps = counter("sdp.gram.sweeps") -
+                                    sweeps_before_warm;
+
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_NEAR(cold[i], reference[i], 1e-6) << "game " << i;
+    EXPECT_NEAR(warm[i], reference[i], 1e-6) << "game " << i;
+  }
+
+  if (obs_counters_enabled()) {
+    // Every game after the first was warm-started...
+    EXPECT_EQ(counter("sdp.gram.warm_starts") - warm_starts_before,
+              sweep.size() - 1);
+    // ...and the chained runs do strictly less coordinate-ascent work.
+    EXPECT_LT(warm_sweeps, cold_sweeps);
+  }
+}
+
+TEST(WarmStart, SeesawWarmStartsMatchColdValuesWithFewerRounds) {
+  // A sweep of CHSH games with a slowly drifting input distribution: the
+  // optimum moves a little each step, so the previous strategy is an
+  // excellent initial point.
+  std::vector<XorGame> sweep;
+  for (int k = 0; k < 8; ++k) {
+    std::vector<std::vector<int>> f{{0, 0}, {0, 1}};
+    const double d = 0.01 * static_cast<double>(k);
+    std::vector<std::vector<double>> pi{{0.25 + d, 0.25},
+                                        {0.25, 0.25 - d}};
+    sweep.emplace_back(std::move(f), std::move(pi));
+  }
+
+  const std::uint64_t rounds_before_cold = counter("games.seesaw.rounds");
+  std::vector<double> cold;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    ftl::games::SeesawOptions o;
+    o.restarts = 3;
+    o.seed = 4000 + i;
+    cold.push_back(
+        ftl::games::seesaw_optimize(sweep[i].to_two_party_game(), o).value);
+  }
+  const std::uint64_t cold_rounds = counter("games.seesaw.rounds") -
+                                    rounds_before_cold;
+
+  const std::uint64_t warm_before = counter("games.seesaw.warm_starts");
+  const std::uint64_t rounds_before_warm = counter("games.seesaw.rounds");
+  std::vector<double> warm;
+  // Results are kept alive for the next iteration's non-owning pointer.
+  std::vector<ftl::games::SeesawResult> results;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    ftl::games::SeesawOptions o;
+    o.restarts = 3;
+    o.seed = 4000 + i;
+    if (!results.empty()) o.warm_start = &results.back().strategy;
+    results.push_back(
+        ftl::games::seesaw_optimize(sweep[i].to_two_party_game(), o));
+    warm.push_back(results.back().value);
+  }
+  const std::uint64_t warm_rounds = counter("games.seesaw.rounds") -
+                                    rounds_before_warm;
+
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_NEAR(warm[i], cold[i], 1e-5) << "game " << i;
+  }
+  if (obs_counters_enabled()) {
+    EXPECT_EQ(counter("games.seesaw.warm_starts") - warm_before,
+              sweep.size() - 1);
+    EXPECT_LT(warm_rounds, cold_rounds);
+  }
+}
+
+// The engine chains warm starts across evaluate() calls on its own; on a
+// recorded sweep it must report one warm start per solver-path game after
+// the first while reproducing reference values.
+TEST(WarmStart, EngineChainsWarmStartsAcrossEvaluations) {
+  const auto sweep = recorded_sweep();
+
+  ftl::games::XorValueOptions opts;
+  opts.use_closed_form = false;
+  opts.use_cache = false;
+  opts.sdp.restarts = 2;
+  opts.sdp.seed = 777;
+  ftl::games::XorValueEngine engine(opts);
+
+  for (const auto& m : sweep) {
+    ftl::sdp::GramOptions ref;
+    ref.restarts = 6;
+    ref.seed = 31;
+    const double reference = ftl::sdp::xor_quantum_bias(m, ref).bias;
+    const auto r = engine.evaluate(m);
+    EXPECT_NEAR(r.quantum_bias, reference, 1e-6);
+  }
+  EXPECT_EQ(engine.stats().warm_starts, sweep.size() - 1);
+  EXPECT_EQ(engine.stats().games_solved, sweep.size());
+}
+
+}  // namespace
